@@ -1,0 +1,222 @@
+package tfcsim
+
+// One benchmark per table/figure of the paper's evaluation (see DESIGN.md
+// §4 for the experiment index). Each benchmark runs a reduced-scale but
+// structurally faithful version of the figure's scenario and reports the
+// figure's headline quantity via b.ReportMetric, so `go test -bench=.`
+// regenerates the whole evaluation in miniature. Run
+// `go run ./cmd/tfcsim all -scale paper` for the full-scale tables.
+
+import (
+	"testing"
+
+	"tfcsim/internal/exp"
+	"tfcsim/internal/netsim"
+	"tfcsim/internal/sim"
+)
+
+func BenchmarkFig06RTTB(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := exp.RTTAccuracy(exp.RTTAccuracyConfig{
+			Duration: 300 * sim.Millisecond, Window: 50 * sim.Millisecond,
+		})
+		b.ReportMetric(r.MeasuredRTTB.Percentile(50), "rttb_p50_us")
+		b.ReportMetric(r.Reference.Percentile(50), "refRTT_p50_us")
+	}
+}
+
+func BenchmarkFig07Ne(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := exp.NeAccuracy(exp.NeAccuracyConfig{Interval: 25 * sim.Millisecond})
+		b.ReportMetric(r.MeanAbsErr, "ne_abs_err_flows")
+	}
+}
+
+func BenchmarkFig08Queue(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := exp.QueueFairnessConfig{StartInterval: 30 * sim.Millisecond}
+		cfg.Proto = exp.TFC
+		r := exp.QueueFairness(cfg)
+		b.ReportMetric(r.AvgQueue/1024, "tfc_avg_queue_KB")
+		b.ReportMetric(float64(r.MaxQueue)/1024, "tfc_max_queue_KB")
+	}
+}
+
+func BenchmarkFig09GoodputFairness(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := exp.QueueFairnessConfig{StartInterval: 30 * sim.Millisecond}
+		cfg.Proto = exp.TFC
+		r := exp.QueueFairness(cfg)
+		b.ReportMetric(r.AggGoodput/1e6, "tfc_agg_Mbps")
+		b.ReportMetric(r.JainIndex, "tfc_jain")
+	}
+}
+
+func BenchmarkFig10Convergence(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := exp.QueueFairnessConfig{StartInterval: 30 * sim.Millisecond}
+		cfg.Proto = exp.TFC
+		r := exp.QueueFairness(cfg)
+		if r.ConvergeIn > 0 {
+			b.ReportMetric(r.ConvergeIn.Micros(), "tfc_flow3_converge_us")
+		}
+	}
+}
+
+func BenchmarkFig11WorkConserving(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := exp.WorkConserving(exp.WorkConservingConfig{Duration: 300 * sim.Millisecond})
+		b.ReportMetric(r.UplinkGoodput/1e6, "uplink_Mbps")
+		b.ReportMetric(r.DownlinkGoodput/1e6, "downlink_Mbps")
+	}
+}
+
+func BenchmarkFig12Incast(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := exp.IncastConfig{Rounds: 3}
+		cfg.Proto = exp.TFC
+		cfg.Senders = 60
+		tfc := exp.Incast(cfg)
+		cfg.Proto = exp.TCP
+		tcp := exp.Incast(cfg)
+		b.ReportMetric(tfc.Goodput/1e6, "tfc@60_Mbps")
+		b.ReportMetric(tcp.Goodput/1e6, "tcp@60_Mbps")
+		b.ReportMetric(float64(tfc.Drops), "tfc_drops")
+	}
+}
+
+func BenchmarkFig13FCT(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := exp.BenchmarkConfig{
+			Duration: 150 * sim.Millisecond, QueryRate: 150, BgFlowRate: 250,
+		}
+		rs := exp.BenchmarkAll(cfg, []exp.Proto{exp.TFC, exp.TCP})
+		b.ReportMetric(rs[0].QueryFCT.Mean(), "tfc_query_mean_us")
+		b.ReportMetric(rs[1].QueryFCT.Mean(), "tcp_query_mean_us")
+		b.ReportMetric(rs[0].QueryFCT.Percentile(99.9), "tfc_query_p999_us")
+		b.ReportMetric(rs[1].QueryFCT.Percentile(99.9), "tcp_query_p999_us")
+	}
+}
+
+func BenchmarkFig14Rho0(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts := exp.Rho0Sweep(exp.Rho0SweepConfig{
+			Rho0s: []float64{0.90, 1.00}, Duration: 250 * sim.Millisecond,
+		})
+		b.ReportMetric(pts[0].Goodput/1e6, "rho0.90_Mbps")
+		b.ReportMetric(pts[1].Goodput/1e6, "rho1.00_Mbps")
+		b.ReportMetric(pts[1].AvgQ/1024, "rho1.00_avgQ_KB")
+	}
+}
+
+func BenchmarkFig15IncastLarge(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := exp.IncastConfig{
+			Rate: 10 * netsim.Gbps, BufBytes: 512 << 10,
+			BlockBytes: 64 << 10, Rounds: 3,
+		}
+		cfg.Senders = 100
+		cfg.Proto = exp.TFC
+		tfc := exp.Incast(cfg)
+		cfg.Proto = exp.TCP
+		tcp := exp.Incast(cfg)
+		b.ReportMetric(tfc.Goodput/1e9, "tfc@100_Gbps")
+		b.ReportMetric(tcp.Goodput/1e9, "tcp@100_Gbps")
+		b.ReportMetric(tcp.MaxTOBlock, "tcp_maxTO_per_block")
+	}
+}
+
+func BenchmarkFig16FCTLarge(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := exp.BenchmarkConfig{
+			Racks: 6, PerRack: 6, BufBytes: 48 << 10,
+			Duration: 80 * sim.Millisecond, QueryRate: 100, BgFlowRate: 200,
+		}
+		rs := exp.BenchmarkAll(cfg, []exp.Proto{exp.TFC, exp.TCP})
+		b.ReportMetric(rs[0].QueryFCT.Percentile(95), "tfc_query_p95_us")
+		b.ReportMetric(rs[1].QueryFCT.Percentile(95), "tcp_query_p95_us")
+	}
+}
+
+func BenchmarkAblationNoAdjust(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := exp.WorkConserving(exp.WorkConservingConfig{
+			Duration: 300 * sim.Millisecond, DisableAdjust: true,
+		})
+		b.ReportMetric(r.DownlinkGoodput/1e6, "ablated_downlink_Mbps")
+	}
+}
+
+func BenchmarkAblationNoDelay(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := exp.IncastConfig{Rounds: 2, BufBytes: 64 << 10}
+		cfg.Proto = exp.TFC
+		cfg.Senders = 80
+		cfg.TFC.DisableDelay = true
+		r := exp.Incast(cfg)
+		b.ReportMetric(float64(r.Drops), "ablated_drops")
+	}
+}
+
+func BenchmarkAblationNoDecouple(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := exp.QueueFairnessConfig{StartInterval: 30 * sim.Millisecond}
+		cfg.Proto = exp.TFC
+		cfg.TFC.DisableDecouple = true
+		r := exp.QueueFairness(cfg)
+		b.ReportMetric(r.AvgQueue/1024, "coupled_avg_queue_KB")
+	}
+}
+
+func BenchmarkExtensionFatTree(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := exp.PermutationConfig{Duration: 100 * sim.Millisecond}
+		cfg.Proto = exp.TFC
+		r := exp.Permutation(cfg)
+		b.ReportMetric(r.AggGoodput/1e9, "tfc_perm_Gbps")
+		b.ReportMetric(float64(r.MaxQueue)/1024, "tfc_fabric_maxQ_KB")
+	}
+}
+
+func BenchmarkExtensionChurn(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := exp.ChurnConfig{Duration: 200 * sim.Millisecond}
+		cfg.Proto = exp.TFC
+		r := exp.Churn(cfg)
+		b.ReportMetric(r.Utilization, "tfc_util_of_active")
+		b.ReportMetric(r.AvgQ/1024, "tfc_avgQ_KB")
+	}
+}
+
+func BenchmarkExtensionCreditIncast(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := exp.IncastConfig{Rounds: 3, BufBytes: 64 << 10}
+		cfg.Proto = exp.CREDIT
+		cfg.Senders = 60
+		r := exp.Incast(cfg)
+		b.ReportMetric(r.Goodput/1e6, "credit@60_Mbps")
+		b.ReportMetric(float64(r.Drops), "credit_data_drops")
+	}
+}
+
+// BenchmarkEngineThroughput measures raw simulator event throughput with a
+// saturated 10G dumbbell — the substrate cost every experiment pays.
+func BenchmarkEngineThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := NewSimulator(1)
+		net := NewNetwork(s)
+		h1 := net.NewHost("h1")
+		h2 := net.NewHost("h2")
+		sw := net.NewSwitch("sw")
+		link := LinkConfig{Rate: 10 * Gbps, Delay: 5 * Microsecond}
+		net.Connect(h1, sw, link)
+		net.Connect(sw, h2, LinkConfig{Rate: 10 * Gbps, Delay: 5 * Microsecond, BufA: 1 << 20})
+		net.ComputeRoutes()
+		d := &Dialer{Sim: s, Proto: TCP}
+		conn := d.Dial(h1, h2, nil, nil)
+		conn.Sender.Open()
+		conn.Sender.Send(1 << 30)
+		s.RunUntil(50 * Millisecond)
+		b.ReportMetric(float64(s.Executed())/50e-3/1e6, "Mevents/simsec")
+	}
+}

@@ -1,0 +1,99 @@
+// Command tfcsim reproduces the evaluation of "TFC: Token Flow Control in
+// Data Center Networks" (EuroSys 2016): every figure of the paper can be
+// regenerated at quick (seconds) or paper (faithful parameters) scale.
+//
+// Usage:
+//
+//	tfcsim list
+//	tfcsim run <experiment> [-scale quick|paper] [-out FILE]
+//	tfcsim all [-scale quick|paper] [-out FILE]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"tfcsim"
+)
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `tfcsim — reproduction harness for TFC (EuroSys 2016)
+
+Usage:
+  tfcsim list                                  list experiments
+  tfcsim run <name> [-scale quick|paper] [-out FILE] [-csv DIR]
+  tfcsim all        [-scale quick|paper] [-out FILE] [-csv DIR]
+  tfcsim verify                                run the paper's claims as checks
+`)
+	os.Exit(2)
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "list":
+		for _, e := range tfcsim.Experiments() {
+			fmt.Printf("%-18s %-22s %s\n", e.Name, e.Figure, e.Desc)
+		}
+	case "verify":
+		report, ok := tfcsim.VerifyAll()
+		fmt.Print(report)
+		if !ok {
+			fmt.Println("some claims FAILED")
+			os.Exit(1)
+		}
+		fmt.Println("all claims hold")
+	case "run", "all":
+		fs := flag.NewFlagSet(os.Args[1], flag.ExitOnError)
+		scale := fs.String("scale", "quick", "experiment scale: quick or paper")
+		out := fs.String("out", "", "also write output to this file")
+		csv := fs.String("csv", "", "export raw series/CDF data as CSV into this directory (fig06, fig08-10)")
+		args := os.Args[2:]
+		var name string
+		if os.Args[1] == "run" {
+			if len(args) == 0 || args[0] == "" || args[0][0] == '-' {
+				usage()
+			}
+			name = args[0]
+			args = args[1:]
+		}
+		if err := fs.Parse(args); err != nil {
+			os.Exit(2)
+		}
+		tfcsim.SetCSVDir(*csv)
+		var w io.Writer = os.Stdout
+		if *out != "" {
+			f, err := os.Create(*out)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			w = io.MultiWriter(os.Stdout, f)
+		}
+		run := func(name string) {
+			start := time.Now()
+			res, err := tfcsim.RunExperiment(name, tfcsim.Scale(*scale))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(w, "== %s (scale=%s, %.1fs wall) ==\n%s\n",
+				name, *scale, time.Since(start).Seconds(), res)
+		}
+		if os.Args[1] == "run" {
+			run(name)
+		} else {
+			for _, e := range tfcsim.Experiments() {
+				run(e.Name)
+			}
+		}
+	default:
+		usage()
+	}
+}

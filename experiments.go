@@ -1,0 +1,298 @@
+package tfcsim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"tfcsim/internal/exp"
+	"tfcsim/internal/netsim"
+	"tfcsim/internal/sim"
+)
+
+// Scale selects experiment fidelity: Quick runs in seconds (CI and
+// benchmarks), Paper uses the paper's parameters (minutes of wall time for
+// the large sweeps).
+type Scale string
+
+// Scales.
+const (
+	Quick Scale = "quick"
+	Paper Scale = "paper"
+)
+
+// csvDir, when set via SetCSVDir, makes experiments that support raw
+// data export (fig06, fig08-10) write CSV files there.
+var csvDir string
+
+// SetCSVDir directs supporting experiments to export raw series/CDFs as
+// CSV into dir (empty disables).
+func SetCSVDir(dir string) { csvDir = dir }
+
+// Experiment is one reproducible table/figure of the paper.
+type Experiment struct {
+	Name   string // registry key, e.g. "fig12"
+	Figure string // paper figure reference
+	Desc   string
+	Run    func(Scale) string
+}
+
+var registry = []Experiment{
+	{
+		Name: "fig06", Figure: "Fig 6",
+		Desc: "accuracy of measured rtt_b vs reference RTT (CDF summary)",
+		Run: func(sc Scale) string {
+			cfg := exp.RTTAccuracyConfig{CSVDir: csvDir}
+			if sc == Paper {
+				cfg.Duration = 20 * sim.Second
+				cfg.Window = sim.Second
+			}
+			return exp.RTTAccuracy(cfg).String()
+		},
+	},
+	{
+		Name: "fig07", Figure: "Fig 7",
+		Desc: "accuracy of Ne with inactive flows (n2=5 persistent + n1 on-off)",
+		Run: func(sc Scale) string {
+			cfg := exp.NeAccuracyConfig{}
+			if sc == Paper {
+				cfg.Interval = sim.Second
+			}
+			return exp.NeAccuracy(cfg).String()
+		},
+	},
+	{
+		Name: "fig08-10", Figure: "Figs 8, 9, 10",
+		Desc: "queue length, goodput/fairness and convergence, 4 staggered flows -> H3, TFC vs DCTCP vs TCP",
+		Run: func(sc Scale) string {
+			cfg := exp.QueueFairnessConfig{CSVDir: csvDir}
+			if sc == Paper {
+				cfg.StartInterval = 3 * sim.Second
+				cfg.Tail = 3 * sim.Second
+				cfg.GoodputSample = 20 * sim.Millisecond
+			}
+			return exp.FormatQueueFairness(exp.QueueFairnessAll(cfg))
+		},
+	},
+	{
+		Name: "fig11", Figure: "Fig 11",
+		Desc: "work conserving on the Fig 5 multi-bottleneck topology (+ A1 ablation)",
+		Run: func(sc Scale) string {
+			cfg := exp.WorkConservingConfig{}
+			if sc == Paper {
+				cfg.Duration = 20 * sim.Second
+			}
+			full := exp.WorkConserving(cfg)
+			cfg.DisableAdjust = true
+			return exp.FormatWorkConserving(full, exp.WorkConserving(cfg))
+		},
+	},
+	{
+		Name: "fig12", Figure: "Fig 12",
+		Desc: "testbed incast: goodput and queue vs number of senders (1G, 256KB blocks)",
+		Run: func(sc Scale) string {
+			cfg := exp.IncastConfig{}
+			senders := []int{10, 40, 70, 100}
+			protos := []exp.Proto{exp.TFC, exp.DCTCP, exp.TCP}
+			if sc == Paper {
+				cfg.Rounds = 100
+				senders = []int{5, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100}
+			} else {
+				cfg.Rounds = 4
+			}
+			pts := exp.IncastSweep(cfg, senders, protos)
+			if csvDir != "" {
+				_ = exp.SaveIncastCSV(csvDir, "fig12_incast.csv", pts)
+			}
+			return exp.FormatIncast("Fig 12 — testbed incast (1 Gbps, 256 KB blocks)", pts)
+		},
+	},
+	{
+		Name: "fig13", Figure: "Fig 13",
+		Desc: "testbed web-search benchmark: query and background FCT, TFC vs DCTCP vs TCP",
+		Run: func(sc Scale) string {
+			cfg := exp.BenchmarkConfig{}
+			if sc == Paper {
+				cfg.Duration = 2 * sim.Second
+				cfg.QueryRate = 300
+				cfg.BgFlowRate = 500
+			}
+			rs := exp.BenchmarkAll(cfg, []exp.Proto{exp.TFC, exp.DCTCP, exp.TCP})
+			if csvDir != "" {
+				_ = exp.SaveBenchmarkCSV(csvDir, rs)
+			}
+			return exp.FormatBenchmark("Fig 13 — testbed benchmark", rs)
+		},
+	},
+	{
+		Name: "fig14", Figure: "Fig 14",
+		Desc: "impact of rho0: goodput and queue for rho0 in 0.90..1.00",
+		Run: func(sc Scale) string {
+			cfg := exp.Rho0SweepConfig{}
+			if sc == Paper {
+				cfg.Rho0s = []float64{0.90, 0.92, 0.94, 0.96, 0.98, 1.00}
+				cfg.Duration = 2 * sim.Second
+			}
+			return exp.FormatRho0Sweep(exp.Rho0Sweep(cfg))
+		},
+	},
+	{
+		Name: "fig15", Figure: "Fig 15",
+		Desc: "large-scale incast (10G): throughput and max timeouts/block vs senders, TFC vs TCP",
+		Run: func(sc Scale) string {
+			var b strings.Builder
+			blocks := []int64{64 << 10, 256 << 10}
+			senders := []int{100, 300}
+			rounds := 3
+			if sc == Paper {
+				blocks = []int64{64 << 10, 128 << 10, 256 << 10}
+				senders = []int{50, 100, 200, 300, 400}
+				rounds = 20
+			}
+			for _, blk := range blocks {
+				cfg := exp.IncastConfig{
+					Rate: 10 * netsim.Gbps, BufBytes: 512 << 10,
+					BlockBytes: blk, Rounds: rounds,
+				}
+				pts := exp.IncastSweep(cfg, senders, []exp.Proto{exp.TFC, exp.TCP})
+				b.WriteString(exp.FormatIncast(
+					fmt.Sprintf("Fig 15 — large-scale incast (%dKB blocks)", blk>>10), pts))
+				b.WriteString("\n")
+			}
+			return b.String()
+		},
+	},
+	{
+		Name: "fig16", Figure: "Fig 16",
+		Desc: "large-scale web-search benchmark (leaf-spine): query and background FCT",
+		Run: func(sc Scale) string {
+			cfg := exp.BenchmarkConfig{BufBytes: 512 << 10}
+			protos := []exp.Proto{exp.TFC, exp.TCP}
+			if sc == Paper {
+				cfg.Racks, cfg.PerRack = 18, 20
+				cfg.Duration = 500 * sim.Millisecond
+				cfg.QueryRate = 40
+				cfg.BgFlowRate = 2000
+				protos = []exp.Proto{exp.TFC, exp.DCTCP, exp.TCP}
+			} else {
+				cfg.Racks, cfg.PerRack = 6, 6
+				cfg.Duration = 150 * sim.Millisecond
+				cfg.QueryRate = 100
+				cfg.BgFlowRate = 300
+			}
+			return exp.FormatBenchmark("Fig 16 — large-scale benchmark",
+				exp.BenchmarkAll(cfg, protos))
+		},
+	},
+	{
+		Name: "fattree", Figure: "extension (§4.3 multi-rooted trees)",
+		Desc: "k-ary fat-tree cross-pod permutation over ECMP: TFC vs TCP fabric queues",
+		Run: func(sc Scale) string {
+			var rs []exp.PermutationResult
+			for _, p := range []exp.Proto{exp.TFC, exp.TCP} {
+				cfg := exp.PermutationConfig{}
+				if sc == Paper {
+					cfg.K = 8
+					cfg.Duration = 300 * sim.Millisecond
+				} else {
+					cfg.Duration = 150 * sim.Millisecond
+				}
+				cfg.Proto = p
+				rs = append(rs, exp.Permutation(cfg))
+			}
+			return exp.FormatPermutation(rs)
+		},
+	},
+	{
+		Name: "churn", Figure: "extension (§2 on-off flows)",
+		Desc: "Storm-style on-off flows: silent-share reclamation and burst-free resume",
+		Run: func(sc Scale) string {
+			var rs []exp.ChurnResult
+			for _, p := range []exp.Proto{exp.TFC, exp.DCTCP, exp.TCP} {
+				cfg := exp.ChurnConfig{}
+				if sc == Paper {
+					cfg.Duration = 2 * sim.Second
+				}
+				cfg.Proto = p
+				rs = append(rs, exp.Churn(cfg))
+			}
+			return exp.FormatChurn(rs)
+		},
+	},
+	{
+		Name: "credit-baseline", Figure: "extension (§7 credit-based flow control)",
+		Desc: "TFC vs an ExpressPass-style receiver-driven credit transport on incast",
+		Run: func(sc Scale) string {
+			cfg := exp.IncastConfig{BufBytes: 64 << 10}
+			senders := []int{20, 60}
+			if sc == Paper {
+				cfg.Rounds = 50
+				senders = []int{10, 40, 70, 100}
+			} else {
+				cfg.Rounds = 4
+			}
+			pts := exp.IncastSweep(cfg, senders, []exp.Proto{exp.TFC, exp.CREDIT})
+			return exp.FormatIncast(
+				"Credit baseline — incast, 64KB buffer: TFC (switch windows) vs receiver-driven credits", pts) +
+				"both credit-derived designs complete fan-in without data loss; they differ in control-plane cost (per-packet credits vs per-round window stamps)\n"
+		},
+	},
+	{
+		Name: "ablation-delay", Figure: "design §4.6 (A2)",
+		Desc: "incast with the ACK delay function disabled: drops appear at high fan-in",
+		Run: func(sc Scale) string {
+			cfg := exp.IncastConfig{Rounds: 3, BufBytes: 64 << 10}
+			if sc == Paper {
+				cfg.Rounds = 20
+			}
+			cfg.Proto = exp.TFC
+			cfg.Senders = 80
+			full := exp.Incast(cfg)
+			cfg.TFC.DisableDelay = true
+			ablated := exp.Incast(cfg)
+			return exp.FormatIncast("Ablation A2 — delay function off (80 senders, 64KB buffer)",
+				[]exp.IncastPoint{full, ablated}) +
+				"row 1 = full TFC, row 2 = DisableDelay\n"
+		},
+	},
+	{
+		Name: "ablation-decouple", Figure: "design §4.4 (A3)",
+		Desc: "rtt_b/rtt_m coupling: tokens computed from rtt_m inflate queues",
+		Run: func(sc Scale) string {
+			run := func(disable bool) *exp.QueueFairnessResult {
+				cfg := exp.QueueFairnessConfig{}
+				if sc == Paper {
+					cfg.StartInterval = sim.Second
+				}
+				cfg.Proto = exp.TFC
+				cfg.TFC.DisableDecouple = disable
+				return exp.QueueFairness(cfg)
+			}
+			full, coupled := run(false), run(true)
+			t := exp.FormatQueueFairness([]*exp.QueueFairnessResult{full, coupled})
+			return "Ablation A3 — row 1 = decoupled (full TFC), row 2 = coupled (tokens from rtt_m)\n" + t
+		},
+	},
+}
+
+// Experiments lists the available experiments sorted by name.
+func Experiments() []Experiment {
+	out := make([]Experiment, len(registry))
+	copy(out, registry)
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// RunExperiment runs one experiment by name at the given scale and returns
+// its rendered result.
+func RunExperiment(name string, scale Scale) (string, error) {
+	if scale != Quick && scale != Paper {
+		return "", fmt.Errorf("tfcsim: unknown scale %q (want %q or %q)", scale, Quick, Paper)
+	}
+	for _, e := range registry {
+		if e.Name == name {
+			return e.Run(scale), nil
+		}
+	}
+	return "", fmt.Errorf("tfcsim: unknown experiment %q", name)
+}

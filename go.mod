@@ -1,0 +1,3 @@
+module tfcsim
+
+go 1.22

@@ -1,0 +1,259 @@
+// Package credit implements a receiver-driven, ExpressPass-style credit
+// transport as a comparison baseline for TFC. It descends from the
+// credit-based flow control lineage the paper discusses in §7 (Kung et
+// al.'s ATM credits), transplanted to data centers the way ExpressPass
+// (SIGCOMM'17) later did:
+//
+//   - the receiver paces small credit packets to the sender; the sender
+//     may transmit exactly one MSS of data per credit, so data can never
+//     congest a link whose credits were admitted;
+//   - switches shape the *credit* stream on the reverse path so that the
+//     data it triggers cannot exceed the forward capacity — excess
+//     credits are simply dropped (dropping a 64-byte credit is cheap,
+//     dropping a 1538-byte data frame is not);
+//   - each receiver adjusts its credit rate by waste feedback (credits
+//     sent vs. data received), probing up when credits are productive
+//     and backing off multiplicatively when they are wasted.
+//
+// Contrast with TFC: credits pace *per-packet* from receivers and spend
+// reverse-path bandwidth continuously, while TFC assigns *per-round
+// windows* from switches and only paces in the sub-MSS regime.
+package credit
+
+import (
+	"tfcsim/internal/netsim"
+	"tfcsim/internal/sim"
+	"tfcsim/internal/transport"
+)
+
+// Config parameterizes one credit-transport connection.
+type Config struct {
+	Sim   *sim.Simulator
+	Local *netsim.Host // data sender
+	Peer  *netsim.Host // data receiver (credit source)
+	Flow  netsim.FlowID
+
+	MSS    int
+	MinRTO sim.Time // retransmission safety net (default 200ms)
+	MaxRTO sim.Time
+
+	// InitRate is the initial per-flow credit rate as a fraction of the
+	// receiver NIC rate (default 1/8).
+	InitRate float64
+	// WasteTarget is the tolerated credit-waste fraction per epoch before
+	// multiplicative decrease (default 0.1).
+	WasteTarget float64
+	// Epoch is the feedback period (default 1ms — roughly an RTT scale;
+	// time-based so that recovery from a rate collapse is not itself
+	// paced by the collapsed rate).
+	Epoch sim.Time
+
+	OnDrain    func()
+	OnComplete func()
+}
+
+func (c *Config) fill() {
+	if c.MSS == 0 {
+		c.MSS = transport.DefaultMSS
+	}
+	if c.MinRTO == 0 {
+		c.MinRTO = 200 * sim.Millisecond
+	}
+	if c.MaxRTO == 0 {
+		c.MaxRTO = 60 * sim.Second
+	}
+	if c.InitRate == 0 {
+		c.InitRate = 1.0 / 8
+	}
+	if c.WasteTarget == 0 {
+		c.WasteTarget = 0.1
+	}
+	if c.Epoch == 0 {
+		c.Epoch = sim.Millisecond
+	}
+}
+
+// Sender is the data-sending half: it transmits one segment per received
+// credit and nothing otherwise (apart from the RTO safety net).
+type Sender struct {
+	cfg Config
+	st  transport.Stats
+	est *transport.RTTEstimator
+
+	opened  bool
+	sndUna  int64
+	sndNxt  int64
+	budget  int64
+	closing bool
+	done    bool
+
+	rto        *transport.RTOTimer
+	rtoBackoff uint
+
+	// CreditsUsed / CreditsWasted count received credits by outcome.
+	CreditsUsed   int64
+	CreditsWasted int64
+}
+
+// NewSender creates (and registers) the sending half.
+func NewSender(cfg Config) *Sender {
+	cfg.fill()
+	s := &Sender{
+		cfg: cfg,
+		est: transport.NewRTTEstimator(cfg.MinRTO, cfg.MaxRTO, 0),
+	}
+	s.rto = transport.NewRTOTimer(cfg.Sim, s.onRTO)
+	cfg.Local.Register(cfg.Flow, s)
+	return s
+}
+
+// Dial creates a sender and its matching receiver.
+func Dial(cfg Config) (*Sender, *Receiver) {
+	s := NewSender(cfg)
+	r := NewReceiver(cfg)
+	return s, r
+}
+
+// Stats exposes the flow statistics record.
+func (s *Sender) Stats() *transport.Stats { return &s.st }
+
+// Acked returns cumulative acknowledged bytes.
+func (s *Sender) Acked() int64 { return s.sndUna }
+
+// Queued returns cumulative bytes handed to Send.
+func (s *Sender) Queued() int64 { return s.budget }
+
+// SRTT returns the smoothed RTT estimate.
+func (s *Sender) SRTT() sim.Time { return s.est.SRTT() }
+
+// Open announces the flow to the receiver (SYN): the receiver starts its
+// credit stream when data is requested.
+func (s *Sender) Open() {
+	if s.opened {
+		return
+	}
+	s.opened = true
+	s.st.Start = s.cfg.Sim.Now()
+	s.sendCtl(netsim.FlagSYN)
+	s.armRTO()
+}
+
+// Send queues n more bytes; a credit request tells the receiver to
+// (re)start crediting.
+func (s *Sender) Send(n int64) {
+	if n <= 0 || s.closing {
+		return
+	}
+	s.budget += n
+	if s.opened {
+		s.sendCtl(netsim.FlagCRD) // credit request
+	}
+}
+
+// Close finishes the stream once drained.
+func (s *Sender) Close() {
+	s.closing = true
+	if s.opened && s.sndUna == s.budget {
+		s.finish()
+	}
+}
+
+func (s *Sender) sendCtl(fl netsim.Flag) {
+	s.cfg.Local.Send(&netsim.Packet{
+		Flow: s.cfg.Flow, Src: s.cfg.Local.ID(), Dst: s.cfg.Peer.ID(),
+		Flags: fl, Seq: s.sndNxt, SentAt: s.cfg.Sim.Now(),
+		Window: s.budget - s.sndNxt,
+	})
+}
+
+// Deliver processes credits (and their piggybacked cumulative ACKs).
+func (s *Sender) Deliver(pkt *netsim.Packet) {
+	if s.done {
+		return
+	}
+	if pkt.Flags&netsim.FlagACK == 0 {
+		return
+	}
+	// Piggybacked cumulative ACK.
+	if pkt.Ack > s.sndUna {
+		s.st.BytesAcked += pkt.Ack - s.sndUna
+		s.sndUna = pkt.Ack
+		if s.sndNxt < s.sndUna {
+			s.sndNxt = s.sndUna
+		}
+		s.est.Observe(s.cfg.Sim.Now() - pkt.SentAt)
+		s.rtoBackoff = 0
+		if s.sndUna == s.budget {
+			s.rto.Stop()
+			if s.cfg.OnDrain != nil {
+				s.cfg.OnDrain()
+			}
+			if s.closing {
+				s.finish()
+				return
+			}
+		} else {
+			s.armRTO()
+		}
+	}
+	if pkt.Flags&netsim.FlagCRD == 0 {
+		return // plain ACK: no credit to spend
+	}
+	// Spend the credit on one segment.
+	if s.sndNxt < s.budget {
+		seg := int64(s.cfg.MSS)
+		if rem := s.budget - s.sndNxt; rem < seg {
+			seg = rem
+		}
+		if s.st.FirstSend == 0 {
+			s.st.FirstSend = s.cfg.Sim.Now()
+		}
+		s.cfg.Local.Send(&netsim.Packet{
+			Flow: s.cfg.Flow, Src: s.cfg.Local.ID(), Dst: s.cfg.Peer.ID(),
+			Seq: s.sndNxt, Payload: int(seg), SentAt: s.cfg.Sim.Now(),
+			Window: s.budget - s.sndNxt - seg, // remaining-after hint
+		})
+		s.sndNxt += seg
+		s.CreditsUsed++
+		if !s.rto.Armed() {
+			s.armRTO()
+		}
+	} else {
+		s.CreditsWasted++
+	}
+}
+
+func (s *Sender) armRTO() {
+	d := s.est.RTO() << s.rtoBackoff
+	if d > s.cfg.MaxRTO {
+		d = s.cfg.MaxRTO
+	}
+	s.rto.Arm(d)
+}
+
+func (s *Sender) onRTO() {
+	if s.done || s.sndUna == s.budget {
+		return
+	}
+	s.st.Timeouts++
+	s.rtoBackoff++
+	// Go-back-N and re-request credits.
+	s.st.RtxBytes += s.sndNxt - s.sndUna
+	s.sndNxt = s.sndUna
+	s.sendCtl(netsim.FlagCRD)
+	s.armRTO()
+}
+
+func (s *Sender) finish() {
+	if s.done {
+		return
+	}
+	s.done = true
+	s.sendCtl(netsim.FlagFIN)
+	s.rto.Stop()
+	s.st.Done = true
+	s.st.Completed = s.cfg.Sim.Now()
+	if s.cfg.OnComplete != nil {
+		s.cfg.OnComplete()
+	}
+}

@@ -1,0 +1,188 @@
+package credit
+
+import (
+	"testing"
+
+	"tfcsim/internal/netsim"
+	"tfcsim/internal/sim"
+)
+
+// rig: n senders -> sw -> recv with the credit shaper attached.
+type rig struct {
+	s       *sim.Simulator
+	senders []*netsim.Host
+	recv    *netsim.Host
+	sw      *netsim.Switch
+	sh      *Shaper
+	bott    *netsim.Port
+}
+
+func newRig(n, buf int) *rig {
+	s := sim.New(21)
+	net := netsim.NewNetwork(s)
+	sw := net.NewSwitch("sw")
+	recv := net.NewHost("recv")
+	recv.ProcJitter = 10 * sim.Microsecond
+	cfg := netsim.LinkConfig{Rate: netsim.Gbps, Delay: 5 * sim.Microsecond}
+	r := &rig{s: s, recv: recv, sw: sw}
+	for i := 0; i < n; i++ {
+		h := net.NewHost("h")
+		h.ProcJitter = 10 * sim.Microsecond
+		net.Connect(h, sw, cfg)
+		r.senders = append(r.senders, h)
+	}
+	net.Connect(sw, recv, netsim.LinkConfig{
+		Rate: netsim.Gbps, Delay: 5 * sim.Microsecond, BufA: buf,
+	})
+	net.ComputeRoutes()
+	r.sh = AttachShaper(s, sw, 0)
+	r.bott = sw.PortTo(recv.ID())
+	return r
+}
+
+func (r *rig) dial(i int, flow netsim.FlowID, opts ...func(*Config)) (*Sender, *Receiver) {
+	cfg := Config{Sim: r.s, Local: r.senders[i], Peer: r.recv, Flow: flow}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return Dial(cfg)
+}
+
+func TestSingleTransferCompletes(t *testing.T) {
+	r := newRig(1, 256<<10)
+	done := false
+	snd, rcv := r.dial(0, 1, func(c *Config) { c.OnComplete = func() { done = true } })
+	r.s.At(0, func() {
+		snd.Open()
+		snd.Send(1 << 20)
+		snd.Close()
+	})
+	r.s.RunUntil(sim.Second)
+	if !done {
+		t.Fatal("transfer did not complete")
+	}
+	if rcv.Received() != 1<<20 {
+		t.Fatalf("received %d", rcv.Received())
+	}
+	if snd.Stats().Timeouts != 0 {
+		t.Fatalf("timeouts = %d", snd.Stats().Timeouts)
+	}
+}
+
+func TestRateRampsToLineRate(t *testing.T) {
+	r := newRig(1, 256<<10)
+	snd, rcv := r.dial(0, 1)
+	r.s.At(0, func() { snd.Open(); snd.Send(1 << 30) })
+	r.s.RunUntil(100 * sim.Millisecond)
+	base := rcv.Received()
+	r.s.RunUntil(300 * sim.Millisecond)
+	goodput := float64(rcv.Received()-base) * 8 / 0.2
+	// Waste feedback should push the credit rate near the max.
+	if goodput < 0.80e9 {
+		t.Fatalf("goodput %.1f Mbps, want near line rate", goodput/1e6)
+	}
+	if r.bott.Drops != 0 {
+		t.Fatal("credited data must not drop")
+	}
+}
+
+func TestIncastNoDataLoss(t *testing.T) {
+	// The headline property shared with TFC: high fan-in without data
+	// loss, because the shaper drops excess *credits* instead.
+	const n = 60
+	r := newRig(n, 64<<10)
+	done := 0
+	for i := 0; i < n; i++ {
+		snd, _ := r.dial(i, netsim.FlowID(i+1),
+			func(c *Config) { c.OnComplete = func() { done++ } })
+		r.s.At(0, func() {
+			snd.Open()
+			snd.Send(64 << 10)
+			snd.Close()
+		})
+	}
+	r.s.RunUntil(5 * sim.Second)
+	if done != n {
+		t.Fatalf("completed %d of %d", done, n)
+	}
+	if r.bott.Drops != 0 {
+		t.Fatalf("data drops = %d, want 0 (credits should be shed instead)", r.bott.Drops)
+	}
+	if r.sh.Dropped == 0 {
+		t.Fatal("shaper never shed credits at 60-way fan-in")
+	}
+}
+
+func TestFairnessTwoFlows(t *testing.T) {
+	r := newRig(2, 256<<10)
+	a, _ := r.dial(0, 1)
+	b, _ := r.dial(1, 2)
+	r.s.At(0, func() { a.Open(); a.Send(1 << 30) })
+	r.s.At(0, func() { b.Open(); b.Send(1 << 30) })
+	r.s.RunUntil(200 * sim.Millisecond)
+	b1, b2 := a.Acked(), b.Acked()
+	r.s.RunUntil(500 * sim.Millisecond)
+	d1, d2 := a.Acked()-b1, b.Acked()-b2
+	ratio := float64(d1) / float64(d2)
+	if ratio < 0.6 || ratio > 1.67 {
+		t.Fatalf("share ratio %.2f, want roughly fair", ratio)
+	}
+}
+
+func TestQueueStaysSmall(t *testing.T) {
+	r := newRig(4, 256<<10)
+	for i := 0; i < 4; i++ {
+		snd, _ := r.dial(i, netsim.FlowID(i+1))
+		r.s.At(0, func() { snd.Open(); snd.Send(1 << 30) })
+	}
+	r.s.RunUntil(300 * sim.Millisecond)
+	// Credited data is paced at the shaper: standing queue ~ a few frames.
+	if r.bott.MaxQueue > 40<<10 {
+		t.Fatalf("max queue %dKB, want small (credit-paced)", r.bott.MaxQueue>>10)
+	}
+	if r.bott.Drops != 0 {
+		t.Fatal("drops under credit pacing")
+	}
+}
+
+func TestSilentFlowStopsCredits(t *testing.T) {
+	r := newRig(1, 256<<10)
+	snd, rcv := r.dial(0, 1)
+	r.s.At(0, func() { snd.Open(); snd.Send(256 << 10) })
+	r.s.RunUntil(100 * sim.Millisecond)
+	if snd.Acked() != 256<<10 {
+		t.Fatalf("message not drained: %d", snd.Acked())
+	}
+	sent := rcv.CreditsSent
+	r.s.RunUntil(200 * sim.Millisecond)
+	// After drain, the credit stream must stop (no 100ms of wasted 64B
+	// frames on the reverse path).
+	if grew := rcv.CreditsSent - sent; grew > 5 {
+		t.Fatalf("%d credits sent to a silent flow", grew)
+	}
+	// Resume works.
+	r.s.At(r.s.Now(), func() { snd.Send(256 << 10) })
+	r.s.RunUntil(400 * sim.Millisecond)
+	if snd.Acked() != 512<<10 {
+		t.Fatalf("resume failed: %d", snd.Acked())
+	}
+}
+
+func TestRecoveryAfterDataLoss(t *testing.T) {
+	r := newRig(1, 256<<10)
+	r.bott.LossRate = 0.01
+	done := false
+	snd, _ := r.dial(0, 1, func(c *Config) {
+		c.MinRTO = 10 * sim.Millisecond
+		c.OnComplete = func() { done = true }
+	})
+	r.s.At(0, func() {
+		snd.Open()
+		snd.Send(5 << 20)
+		snd.Close()
+	})
+	r.s.RunUntil(10 * sim.Second)
+	if !done {
+		t.Fatal("transfer did not recover from injected loss")
+	}
+}

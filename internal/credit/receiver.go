@@ -1,0 +1,324 @@
+package credit
+
+import (
+	"tfcsim/internal/netsim"
+	"tfcsim/internal/sim"
+	"tfcsim/internal/transport"
+)
+
+// Receiver is the credit source: it paces credit packets to the sender at
+// an adaptively controlled rate and piggybacks cumulative ACKs on them.
+type Receiver struct {
+	cfg   Config
+	reasm transport.Reassembly
+
+	crediting bool
+	pacer     *sim.Timer
+	rate      float64 // credits per second
+	maxRate   float64
+	remaining int64 // sender's most recent remaining-bytes hint
+
+	// Per-epoch waste feedback (time-based epochs).
+	epochSent  int
+	epochUsed  int
+	barren     int // consecutive epochs with zero productive credits
+	epochTimer *sim.Timer
+
+	// FinAt records FIN arrival.
+	FinAt sim.Time
+	// OnData fires on every in-order advance.
+	OnData func(total int64)
+
+	// CreditsSent counts credits emitted (diagnostics).
+	CreditsSent int64
+}
+
+// NewReceiver creates (and registers at the peer host) the credit source.
+func NewReceiver(cfg Config) *Receiver {
+	cfg.fill()
+	r := &Receiver{cfg: cfg, remaining: -1}
+	nicBps := cfg.Peer.NIC().Rate.BytesPerSecond()
+	dataWire := float64(cfg.MSS + netsim.HeaderBytes + netsim.WireOverheadBytes)
+	r.maxRate = nicBps / dataWire // credits/s that fill the NIC with data
+	r.rate = r.maxRate * cfg.InitRate
+	cfg.Peer.Register(cfg.Flow, r)
+	return r
+}
+
+// Received returns cumulative in-order bytes.
+func (r *Receiver) Received() int64 { return r.reasm.Next() }
+
+// Rate returns the current credit rate in credits/second.
+func (r *Receiver) Rate() float64 { return r.rate }
+
+// Deliver processes packets from the sender.
+func (r *Receiver) Deliver(pkt *netsim.Packet) {
+	switch {
+	case pkt.Flags&netsim.FlagFIN != 0:
+		r.FinAt = r.cfg.Sim.Now()
+		r.stop()
+	case pkt.Flags&netsim.FlagSYN != 0 || pkt.Flags&netsim.FlagCRD != 0:
+		// Flow announcement or explicit credit request.
+		r.remaining = pkt.Window
+		if r.remaining > 0 {
+			r.start()
+		}
+	case pkt.Payload > 0:
+		before := r.reasm.Next()
+		next := r.reasm.Add(pkt.Seq, pkt.Payload)
+		r.remaining = pkt.Window
+		r.epochUsed++
+		if next > before && r.OnData != nil {
+			r.OnData(next)
+		}
+		if r.remaining <= 0 && r.reasm.Buffered() == 0 {
+			// Everything announced has arrived in order; the stream will
+			// re-request credits if more data shows up. The completing
+			// cumulative ACK travels as a *plain* ACK, not a credit: a
+			// credit would pass the switch shaper, which may drop it —
+			// and a dropped completion costs the sender a 200ms RTO.
+			r.stop()
+			r.sendAck()
+		} else {
+			r.start()
+		}
+	}
+}
+
+func (r *Receiver) start() {
+	if r.crediting {
+		return
+	}
+	r.crediting = true
+	r.barren = 0
+	r.epochSent, r.epochUsed = 0, 0
+	r.schedule()
+	r.scheduleEpoch()
+}
+
+func (r *Receiver) stop() {
+	r.crediting = false
+	if r.pacer != nil {
+		r.pacer.Stop()
+	}
+	if r.epochTimer != nil {
+		r.epochTimer.Stop()
+	}
+}
+
+func (r *Receiver) scheduleEpoch() {
+	if r.epochTimer != nil {
+		r.epochTimer.Stop()
+	}
+	r.epochTimer = r.cfg.Sim.After(r.cfg.Epoch, func() {
+		if !r.crediting {
+			return
+		}
+		r.feedback()
+		r.scheduleEpoch()
+	})
+}
+
+func (r *Receiver) schedule() {
+	if r.pacer != nil {
+		r.pacer.Stop()
+	}
+	gap := sim.Time(float64(sim.Second) / r.rate)
+	if gap < sim.Microsecond {
+		gap = sim.Microsecond
+	}
+	r.pacer = r.cfg.Sim.After(gap, r.tick)
+}
+
+func (r *Receiver) tick() {
+	if !r.crediting {
+		return
+	}
+	r.sendCredit()
+	r.epochSent++
+	r.schedule()
+}
+
+// feedback is the ExpressPass-style credit-rate control: multiplicative
+// decrease proportional to the wasted-credit fraction, additive increase
+// otherwise (AIMD — a multiplicative probe would let an early winner keep
+// doubling away from a starved competitor instead of converging to fair
+// shares at the shared credit shaper).
+func (r *Receiver) feedback() {
+	if r.epochSent == 0 {
+		// Too slow to have sent even one credit this epoch: probe upward
+		// anyway, or a collapsed rate can never recover (the additive
+		// increase must not be paced by the collapsed rate itself).
+		r.rate += r.maxRate / 64
+	} else {
+		waste := float64(r.epochSent-r.epochUsed) / float64(r.epochSent)
+		switch {
+		case waste > r.cfg.WasteTarget:
+			f := 1 - waste/2
+			if f < 0.5 {
+				f = 0.5
+			}
+			r.rate *= f
+		default:
+			r.rate += r.maxRate / 64
+		}
+	}
+	if r.rate > r.maxRate {
+		r.rate = r.maxRate
+	}
+	if min := r.maxRate / 256; r.rate < min {
+		r.rate = min
+	}
+	if r.epochUsed == 0 {
+		r.barren++
+		// Only give up on a flow that claims to have nothing left (the
+		// drained case is normally handled on the data path; this is the
+		// safety net for lost tails). A backlogged sender whose credits
+		// are being shaped away must keep receiving floor-rate credits,
+		// or every shaper drop would cost a 200ms RTO.
+		if r.barren >= 1000 || (r.remaining <= 0 && r.barren >= 3) {
+			r.stop()
+		}
+	} else {
+		r.barren = 0
+	}
+	r.epochSent, r.epochUsed = 0, 0
+}
+
+func (r *Receiver) sendCredit() {
+	r.CreditsSent++
+	r.cfg.Peer.Send(&netsim.Packet{
+		Flow: r.cfg.Flow, Src: r.cfg.Peer.ID(), Dst: r.cfg.Local.ID(),
+		Flags: netsim.FlagCRD | netsim.FlagACK,
+		Ack:   r.reasm.Next(), SentAt: r.cfg.Sim.Now(),
+		Window: netsim.WindowUnset,
+	})
+}
+
+// sendAck emits a plain cumulative ACK (not subject to credit shaping and
+// never spending a credit at the sender).
+func (r *Receiver) sendAck() {
+	r.cfg.Peer.Send(&netsim.Packet{
+		Flow: r.cfg.Flow, Src: r.cfg.Peer.ID(), Dst: r.cfg.Local.ID(),
+		Flags: netsim.FlagACK,
+		Ack:   r.reasm.Next(), SentAt: r.cfg.Sim.Now(),
+		Window: netsim.WindowUnset,
+	})
+}
+
+// Shaper rate-limits credit packets at switches so the data they trigger
+// cannot exceed the forward path's capacity. Credits beyond the pace are
+// *queued* up to a small limit — the queued backlog is what keeps the
+// data pipe full while per-flow credit rates hunt — and dropped beyond it
+// (dropping 64-byte credits is the scheme's safety valve; the drop is the
+// senders' waste-feedback signal).
+type Shaper struct {
+	s    *sim.Simulator
+	rho0 float64
+	mss  int
+	// QueueCap is the per-port credit queue limit (default 16).
+	QueueCap int
+	bkts     map[*netsim.Port]*bucket
+	// Dropped counts shaped-away credits.
+	Dropped int64
+	// Queued counts credits that waited in a credit queue.
+	Queued int64
+}
+
+type heldCredit struct {
+	pkt *netsim.Packet
+	out *netsim.Port
+}
+
+type bucket struct {
+	tokens  float64
+	last    sim.Time
+	rate    float64 // credits per second
+	queue   []heldCredit
+	release *sim.Timer
+}
+
+// AttachShaper installs credit shaping on a switch (one bucket per data
+// port, fed at rho0 of the port's data-carrying capacity).
+func AttachShaper(s *sim.Simulator, sw *netsim.Switch, rho0 float64) *Shaper {
+	if rho0 == 0 {
+		rho0 = 0.97
+	}
+	sh := &Shaper{s: s, rho0: rho0, mss: transport.DefaultMSS, QueueCap: 16,
+		bkts: make(map[*netsim.Port]*bucket)}
+	dataWire := float64(sh.mss + netsim.HeaderBytes + netsim.WireOverheadBytes)
+	for _, p := range sw.Ports() {
+		sh.bkts[p] = &bucket{
+			tokens: 1,
+			rate:   rho0 * p.Rate.BytesPerSecond() / dataWire,
+		}
+	}
+	sw.Interceptor = sh
+	return sh
+}
+
+// Intercept implements netsim.Interceptor: paced credits consult the
+// bucket of the port their data will traverse.
+func (sh *Shaper) Intercept(pkt *netsim.Packet, out *netsim.Port, sw *netsim.Switch) bool {
+	const crd = netsim.FlagCRD | netsim.FlagACK
+	if pkt.Flags&crd != crd {
+		return false
+	}
+	dataPort := sw.PortFor(pkt.Flow, pkt.Src)
+	b := sh.bkts[dataPort]
+	if b == nil {
+		return false
+	}
+	sh.refill(b)
+	if b.tokens >= 1 && len(b.queue) == 0 {
+		b.tokens--
+		return false
+	}
+	if len(b.queue) >= sh.QueueCap {
+		sh.Dropped++
+		return true // credit shaped away
+	}
+	b.queue = append(b.queue, heldCredit{pkt, out})
+	sh.Queued++
+	sh.scheduleRelease(b)
+	return true
+}
+
+func (sh *Shaper) refill(b *bucket) {
+	now := sh.s.Now()
+	b.tokens += b.rate * (now - b.last).Seconds()
+	b.last = now
+	if b.tokens > 2 {
+		b.tokens = 2
+	}
+}
+
+func (sh *Shaper) scheduleRelease(b *bucket) {
+	if b.release.Active() {
+		return
+	}
+	need := 1 - b.tokens
+	if need < 0 {
+		need = 0
+	}
+	d := sim.Time(need / b.rate * float64(sim.Second))
+	if d < 1 {
+		d = 1
+	}
+	b.release = sh.s.After(d, func() { sh.onRelease(b) })
+}
+
+func (sh *Shaper) onRelease(b *bucket) {
+	sh.refill(b)
+	for len(b.queue) > 0 && b.tokens >= 1 {
+		h := b.queue[0]
+		copy(b.queue, b.queue[1:])
+		b.queue[len(b.queue)-1] = heldCredit{}
+		b.queue = b.queue[:len(b.queue)-1]
+		b.tokens--
+		h.out.Enqueue(h.pkt)
+	}
+	if len(b.queue) > 0 {
+		sh.scheduleRelease(b)
+	}
+}

@@ -1,0 +1,153 @@
+package exp
+
+import (
+	"testing"
+
+	"tfcsim/internal/netsim"
+	"tfcsim/internal/sim"
+)
+
+func TestFatTreeShape(t *testing.T) {
+	ft := FatTree(TopoConfig{Proto: TCP}, 4, netsim.Gbps, 64<<10)
+	if len(ft.Cores) != 4 {
+		t.Fatalf("cores = %d, want (k/2)^2 = 4", len(ft.Cores))
+	}
+	if len(ft.Aggs) != 4 || len(ft.Edges) != 4 || len(ft.PodHosts) != 4 {
+		t.Fatal("pod count wrong")
+	}
+	total := 0
+	for p := 0; p < 4; p++ {
+		if len(ft.Aggs[p]) != 2 || len(ft.Edges[p]) != 2 {
+			t.Fatalf("pod %d: aggs=%d edges=%d, want 2/2", p, len(ft.Aggs[p]), len(ft.Edges[p]))
+		}
+		if len(ft.PodHosts[p]) != 4 {
+			t.Fatalf("pod %d hosts = %d, want 4", p, len(ft.PodHosts[p]))
+		}
+		total += len(ft.PodHosts[p])
+	}
+	if total != 16 {
+		t.Fatalf("hosts = %d, want 16 for k=4", total)
+	}
+}
+
+func TestFatTreeECMPPaths(t *testing.T) {
+	ft := FatTree(TopoConfig{Proto: TCP}, 4, netsim.Gbps, 64<<10)
+	// An edge switch should have 2 equal-cost uplinks toward a host in
+	// another pod (its two aggregation switches).
+	src := ft.PodHosts[0][0]
+	dst := ft.PodHosts[1][0]
+	edge := ft.Edges[0][0]
+	ports := edge.PortsTo(dst.ID())
+	if len(ports) != 2 {
+		t.Fatalf("edge has %d equal-cost uplinks cross-pod, want 2", len(ports))
+	}
+	// An aggregation switch has 2 equal-cost core uplinks cross-pod.
+	agg := ft.Aggs[0][0]
+	if got := len(agg.PortsTo(dst.ID())); got != 2 {
+		t.Fatalf("agg has %d equal-cost core ports, want 2", got)
+	}
+	_ = src
+}
+
+func TestFatTreeAllPairsReachable(t *testing.T) {
+	ft := FatTree(TopoConfig{Proto: TCP}, 4, netsim.Gbps, 0)
+	s := ft.Sim
+	var hosts []*netsim.Host
+	for _, ph := range ft.PodHosts {
+		hosts = append(hosts, ph...)
+	}
+	type probe struct{ got int }
+	var probes []*probe
+	fid := netsim.FlowID(1000)
+	for i, a := range hosts {
+		for j, b := range hosts {
+			if i == j {
+				continue
+			}
+			pr := &probe{}
+			probes = append(probes, pr)
+			fid++
+			f := fid
+			bb := b
+			bb.Register(f, endpointFunc(func(p *netsim.Packet) { pr.got++ }))
+			aa := a
+			s.At(0, func() {
+				aa.Send(&netsim.Packet{Flow: f, Src: aa.ID(), Dst: bb.ID(), Payload: 100})
+			})
+		}
+	}
+	s.Run()
+	for i, pr := range probes {
+		if pr.got != 1 {
+			t.Fatalf("pair %d: delivered %d, want 1", i, pr.got)
+		}
+	}
+}
+
+type endpointFunc func(*netsim.Packet)
+
+func (f endpointFunc) Deliver(p *netsim.Packet) { f(p) }
+
+func TestFatTreeOddKPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("odd k must panic")
+		}
+	}()
+	FatTree(TopoConfig{Proto: TCP}, 3, netsim.Gbps, 0)
+}
+
+func TestPermutationTFCvsTCP(t *testing.T) {
+	run := func(p Proto) PermutationResult {
+		cfg := PermutationConfig{Duration: 150 * sim.Millisecond}
+		cfg.Proto = p
+		return Permutation(cfg)
+	}
+	tfc := run(TFC)
+	tcp := run(TCP)
+	if tfc.Hosts != 16 || tcp.Hosts != 16 {
+		t.Fatal("permutation should run 16 flows at k=4")
+	}
+	// TFC: high aggregate (bounded by ECMP hash collisions — static
+	// flow-hash ECMP yields ~60% of bisection for k=4 permutations, a
+	// well-known property of the topology, not of the transport), no
+	// drops, small fabric queues.
+	if tfc.AggGoodput < 5.5e9 {
+		t.Errorf("TFC aggregate %.1f Gbps too low", tfc.AggGoodput/1e9)
+	}
+	t.Logf("fat-tree permutation: TFC %.1f Gbps (maxQ %dKB), TCP %.1f Gbps (maxQ %dKB)",
+		tfc.AggGoodput/1e9, tfc.MaxQueue>>10, tcp.AggGoodput/1e9, tcp.MaxQueue>>10)
+	if tfc.Drops != 0 {
+		t.Errorf("TFC dropped %d in the fabric", tfc.Drops)
+	}
+	if tfc.MaxQueue > 64<<10 {
+		t.Errorf("TFC max fabric queue %dKB", tfc.MaxQueue>>10)
+	}
+	// TCP fills queues somewhere in the fabric.
+	if tcp.MaxQueue < tfc.MaxQueue {
+		t.Errorf("TCP max queue %d below TFC %d", tcp.MaxQueue, tfc.MaxQueue)
+	}
+	if tfc.MinFlow <= 0 {
+		t.Error("a TFC flow starved")
+	}
+}
+
+func TestChurnTFCHighUtilLowQueue(t *testing.T) {
+	cfg := ChurnConfig{Duration: 250 * sim.Millisecond}
+	cfg.Proto = TFC
+	r := Churn(cfg)
+	if r.Utilization < 0.85 {
+		t.Errorf("TFC utilization of active capacity %.2f, want > 0.85", r.Utilization)
+	}
+	if r.AvgQ > 10<<10 {
+		t.Errorf("TFC avg queue %.0fB under churn, want near zero", r.AvgQ)
+	}
+	if r.Drops != 0 {
+		t.Errorf("TFC dropped %d under churn", r.Drops)
+	}
+	cfg.Proto = TCP
+	rt := Churn(cfg)
+	if rt.AvgQ < r.AvgQ*5 {
+		t.Errorf("TCP avg queue %.0fB not clearly above TFC %.0fB", rt.AvgQ, r.AvgQ)
+	}
+}

@@ -1,0 +1,145 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"tfcsim/internal/netsim"
+	"tfcsim/internal/sim"
+	"tfcsim/internal/stats"
+	"tfcsim/internal/trace"
+	"tfcsim/internal/workload"
+)
+
+// IncastConfig parameterizes the incast experiments. Fig 12 (testbed):
+// 1 Gbps, 256 KB buffer, 256 KB blocks, 5–100 senders, TFC vs DCTCP vs
+// TCP. Fig 15 (large-scale): 10 Gbps, 512 KB buffer, {64,128,256} KB
+// blocks, up to 400 senders, TFC vs TCP.
+type IncastConfig struct {
+	TopoConfig
+	Senders    int
+	Rate       netsim.Rate
+	BufBytes   int
+	BlockBytes int64
+	Rounds     int
+	// MaxDuration bounds the run (collapsed TCP can take very long).
+	MaxDuration sim.Time
+	// QueueSamplePeriod for avg/max queue reporting (default 1ms).
+	QueueSamplePeriod sim.Time
+}
+
+func (c *IncastConfig) fill() {
+	if c.Rate == 0 {
+		c.Rate = netsim.Gbps
+	}
+	if c.BufBytes == 0 {
+		c.BufBytes = TestbedBuf
+	}
+	if c.BlockBytes == 0 {
+		c.BlockBytes = 256 << 10
+	}
+	if c.Rounds == 0 {
+		c.Rounds = 20
+	}
+	if c.MaxDuration == 0 {
+		c.MaxDuration = 60 * sim.Second
+	}
+	if c.QueueSamplePeriod == 0 {
+		c.QueueSamplePeriod = sim.Millisecond
+	}
+}
+
+// IncastPoint is one (protocol, senders) measurement.
+type IncastPoint struct {
+	Proto      Proto
+	Senders    int
+	BlockBytes int64
+	Goodput    float64 // application bits/s at the receiver over the run
+	AvgQ       float64 // bytes
+	MaxQ       int     // bytes
+	Drops      int64
+	Timeouts   int64
+	MaxTOBlock float64 // max timeouts per block over flows (Fig 15b)
+	Rounds     int
+	Elapsed    sim.Time
+}
+
+// Incast runs one incast configuration.
+func Incast(cfg IncastConfig) IncastPoint {
+	cfg.fill()
+	e, senders, recv, bott := Star(cfg.TopoConfig, cfg.Senders, cfg.Rate, cfg.BufBytes)
+	in := workload.NewIncast(workload.IncastConfig{
+		Dialer: e.Dialer, Senders: senders, Receiver: recv,
+		BlockBytes: cfg.BlockBytes, Rounds: cfg.Rounds,
+	})
+	qs := stats.NewSampler(e.Sim, cfg.QueueSamplePeriod, func() float64 {
+		return float64(bott.QueueBytes())
+	})
+	settle := 5 * sim.Millisecond
+	in.Start(settle)
+	// Run until all rounds complete or the cap hits.
+	for e.Sim.Now() < cfg.MaxDuration && in.RoundsDone < cfg.Rounds && e.Sim.Pending() > 0 {
+		e.Sim.RunUntil(e.Sim.Now() + 10*sim.Millisecond)
+	}
+	qs.Stop()
+	elapsed := e.Sim.Now() - settle
+	if elapsed <= 0 {
+		elapsed = 1
+	}
+	return IncastPoint{
+		Proto:      cfg.Proto,
+		Senders:    cfg.Senders,
+		BlockBytes: cfg.BlockBytes,
+		Goodput:    float64(in.BytesReceived()) * 8 / elapsed.Seconds(),
+		AvgQ:       qs.Series.MeanV(),
+		MaxQ:       bott.MaxQueue,
+		Drops:      bott.Drops,
+		Timeouts:   in.TotalTimeouts(),
+		MaxTOBlock: in.MaxTimeoutsPerBlock(),
+		Rounds:     in.RoundsDone,
+		Elapsed:    elapsed,
+	}
+}
+
+// IncastSweep runs Incast across sender counts and protocols.
+func IncastSweep(cfg IncastConfig, sendersList []int, protos []Proto) []IncastPoint {
+	var out []IncastPoint
+	for _, p := range protos {
+		for _, n := range sendersList {
+			c := cfg
+			c.Proto = p
+			c.Senders = n
+			out = append(out, Incast(c))
+		}
+	}
+	return out
+}
+
+// SaveIncastCSV writes an incast sweep as CSV into dir/name.
+func SaveIncastCSV(dir, name string, points []IncastPoint) error {
+	t := incastTable("", points)
+	return trace.SaveTo(dir, name, func(w io.Writer) error {
+		return trace.WriteTable(w, t)
+	})
+}
+
+// FormatIncast renders Fig 12 (or one block size of Fig 15).
+func FormatIncast(title string, points []IncastPoint) string {
+	return incastTable(title, points).String()
+}
+
+func incastTable(title string, points []IncastPoint) *stats.Table {
+	t := stats.Table{
+		Title: title,
+		Header: []string{"proto", "senders", "block", "goodput(Mbps)", "avgQ(KB)",
+			"maxQ(KB)", "drops", "timeouts", "maxTO/block", "rounds"},
+	}
+	for _, p := range points {
+		t.AddRow(string(p.Proto), fmt.Sprint(p.Senders),
+			fmt.Sprintf("%dKB", p.BlockBytes>>10),
+			stats.Mbps(p.Goodput), stats.F(p.AvgQ/1024, 1),
+			stats.F(float64(p.MaxQ)/1024, 1), fmt.Sprint(p.Drops),
+			fmt.Sprint(p.Timeouts), stats.F(p.MaxTOBlock, 2), fmt.Sprint(p.Rounds))
+	}
+	return &t
+}

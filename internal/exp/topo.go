@@ -1,0 +1,256 @@
+// Package exp contains one runner per table/figure of the paper's
+// evaluation (Figs 6–16), plus the ablations called out in DESIGN.md.
+// Each runner builds its topology, drives the workload, and returns a
+// typed Result whose String() renders the same rows/series the paper
+// reports.
+package exp
+
+import (
+	"tfcsim/internal/core"
+	"tfcsim/internal/credit"
+	"tfcsim/internal/dctcp"
+	"tfcsim/internal/netsim"
+	"tfcsim/internal/sim"
+	"tfcsim/internal/workload"
+)
+
+// Proto re-exports the workload protocol selector.
+type Proto = workload.Proto
+
+// Protocol constants.
+const (
+	TFC    = workload.TFC
+	TCP    = workload.TCP
+	DCTCP  = workload.DCTCP
+	CREDIT = workload.CREDIT
+)
+
+// AllProtos lists the protocols compared throughout the evaluation.
+var AllProtos = []Proto{TFC, DCTCP, TCP}
+
+// Env is a built topology plus its protocol attachments.
+type Env struct {
+	Sim      *sim.Simulator
+	Net      *netsim.Network
+	Hosts    []*netsim.Host
+	Switches []*netsim.Switch
+	TFCState map[*netsim.Switch]*core.SwitchState
+	Dialer   *workload.Dialer
+}
+
+// TopoConfig carries the knobs shared by all topology builders.
+type TopoConfig struct {
+	Proto Proto
+	// Seed for the deterministic RNG.
+	Seed int64
+	// HostJitter is the max uniform host processing delay (default 10us;
+	// real hosts have it, and TFC's rtt_b min-filter relies on it, §4.5).
+	HostJitter sim.Time
+	// Switch config for TFC (ablations, rho0, callbacks).
+	TFC core.SwitchConfig
+	// MinRTO for senders (default 200ms).
+	MinRTO sim.Time
+}
+
+func (c *TopoConfig) fill() {
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.HostJitter == 0 {
+		c.HostJitter = 10 * sim.Microsecond
+	}
+}
+
+func newEnv(cfg *TopoConfig) *Env {
+	cfg.fill()
+	s := sim.New(cfg.Seed)
+	return &Env{
+		Sim:      s,
+		Net:      netsim.NewNetwork(s),
+		TFCState: make(map[*netsim.Switch]*core.SwitchState),
+		Dialer:   &workload.Dialer{Sim: s, Proto: cfg.Proto, MinRTO: cfg.MinRTO},
+	}
+}
+
+func (e *Env) newHost(name string, jitter sim.Time) *netsim.Host {
+	h := e.Net.NewHost(name)
+	h.ProcJitter = jitter
+	e.Hosts = append(e.Hosts, h)
+	return h
+}
+
+func (e *Env) newSwitch(name string) *netsim.Switch {
+	sw := e.Net.NewSwitch(name)
+	e.Switches = append(e.Switches, sw)
+	return sw
+}
+
+// finish computes routes and attaches the protocol machinery to switches.
+func (e *Env) finish(cfg *TopoConfig, markRate netsim.Rate) {
+	e.Net.ComputeRoutes()
+	switch cfg.Proto {
+	case TFC:
+		for _, sw := range e.Switches {
+			e.TFCState[sw] = core.Attach(e.Sim, sw, cfg.TFC)
+		}
+	case DCTCP:
+		for _, sw := range e.Switches {
+			dctcp.AttachMarking(sw, dctcp.KFor(markRate))
+		}
+	case CREDIT:
+		for _, sw := range e.Switches {
+			credit.AttachShaper(e.Sim, sw, 0)
+		}
+	}
+}
+
+// Testbed paper parameters (§6.1.1): 256 KB per port, 1 Gbps.
+const (
+	TestbedBuf  = 256 << 10
+	TestbedRate = netsim.Gbps
+)
+
+// Testbed builds the paper's Fig 4 testbed: core switch NF0, three leaf
+// switches NF1–NF3, three hosts per leaf (H1–H9), all 1 Gbps with 256 KB
+// port buffers. Hosts[i] is H(i+1).
+func Testbed(cfg TopoConfig) *Env {
+	e := newEnv(&cfg)
+	nf0 := e.newSwitch("NF0")
+	link := netsim.LinkConfig{
+		Rate: TestbedRate, Delay: 5 * sim.Microsecond,
+		BufA: TestbedBuf, BufB: TestbedBuf,
+	}
+	for l := 1; l <= 3; l++ {
+		leaf := e.newSwitch("NF" + string(rune('0'+l)))
+		e.Net.Connect(leaf, nf0, link)
+		for j := 0; j < 3; j++ {
+			h := e.newHost("H", cfg.HostJitter)
+			// Host NICs are not buffer-limited (senders are window-limited).
+			e.Net.Connect(h, leaf, netsim.LinkConfig{
+				Rate: TestbedRate, Delay: 5 * sim.Microsecond, BufB: TestbedBuf,
+			})
+		}
+	}
+	e.finish(&cfg, TestbedRate)
+	return e
+}
+
+// Star builds n sender hosts and one receiver behind a single switch.
+// Used by the incast experiments; rate/buffer configurable.
+func Star(cfg TopoConfig, n int, rate netsim.Rate, buf int) (*Env, []*netsim.Host, *netsim.Host, *netsim.Port) {
+	e := newEnv(&cfg)
+	sw := e.newSwitch("sw")
+	link := netsim.LinkConfig{Rate: rate, Delay: 5 * sim.Microsecond, BufA: buf, BufB: buf}
+	var senders []*netsim.Host
+	for i := 0; i < n; i++ {
+		h := e.newHost("s", cfg.HostJitter)
+		e.Net.Connect(h, sw, link)
+		senders = append(senders, h)
+	}
+	recv := e.newHost("recv", cfg.HostJitter)
+	e.Net.Connect(sw, recv, netsim.LinkConfig{
+		Rate: rate, Delay: 5 * sim.Microsecond, BufA: buf,
+	})
+	e.finish(&cfg, rate)
+	return e, senders, recv, sw.PortTo(recv.ID())
+}
+
+// MultiBottleneck builds the paper's Fig 5 work-conserving topology:
+// host1 -> S1 -> S2; host2, host3, host4 attach to S2. The two potential
+// bottlenecks are the S1->S2 uplink and the S2->host3 downlink.
+type MultiBottleneckEnv struct {
+	*Env
+	H1, H2, H3, H4 *netsim.Host
+	S1, S2         *netsim.Switch
+	Uplink         *netsim.Port // S1 -> S2
+	Downlink       *netsim.Port // S2 -> host3
+}
+
+// MultiBottleneck constructs the Fig 5 environment.
+func MultiBottleneck(cfg TopoConfig) *MultiBottleneckEnv {
+	e := newEnv(&cfg)
+	s1 := e.newSwitch("S1")
+	s2 := e.newSwitch("S2")
+	link := netsim.LinkConfig{
+		Rate: TestbedRate, Delay: 5 * sim.Microsecond,
+		BufA: TestbedBuf, BufB: TestbedBuf,
+	}
+	h1 := e.newHost("h1", cfg.HostJitter)
+	h2 := e.newHost("h2", cfg.HostJitter)
+	h3 := e.newHost("h3", cfg.HostJitter)
+	h4 := e.newHost("h4", cfg.HostJitter)
+	e.Net.Connect(h1, s1, link)
+	e.Net.Connect(s1, s2, link)
+	e.Net.Connect(h2, s2, link)
+	e.Net.Connect(h3, s2, link)
+	e.Net.Connect(h4, s2, link)
+	e.finish(&cfg, TestbedRate)
+	return &MultiBottleneckEnv{
+		Env: e, H1: h1, H2: h2, H3: h3, H4: h4, S1: s1, S2: s2,
+		Uplink:   s1.PortTo(s2.ID()),
+		Downlink: s2.PortTo(h3.ID()),
+	}
+}
+
+// LeafSpine builds the large-scale simulation topology of §6.2.2:
+// `racks` leaf switches with `perRack` servers each, 1 Gbps downlinks and
+// one 10 Gbps uplink per leaf to a single spine, 20 µs link latency
+// (4-hop inter-rack RTT 160 µs, 2-hop intra-rack RTT 80 µs).
+func LeafSpine(cfg TopoConfig, racks, perRack int, buf int) *Env {
+	e := newEnv(&cfg)
+	spine := e.newSwitch("spine")
+	for r := 0; r < racks; r++ {
+		leaf := e.newSwitch("leaf")
+		e.Net.Connect(leaf, spine, netsim.LinkConfig{
+			Rate: 10 * netsim.Gbps, Delay: 20 * sim.Microsecond,
+			BufA: buf, BufB: buf,
+		})
+		for j := 0; j < perRack; j++ {
+			h := e.newHost("h", cfg.HostJitter)
+			e.Net.Connect(h, leaf, netsim.LinkConfig{
+				Rate: netsim.Gbps, Delay: 20 * sim.Microsecond, BufB: buf,
+			})
+		}
+	}
+	e.finish(&cfg, 10*netsim.Gbps)
+	return e
+}
+
+// faucet keeps a connection's send queue topped up while active,
+// modelling a long-lived (or on-off) flow.
+type faucet struct {
+	conn   *workload.Conn
+	active bool
+	chunk  int64
+}
+
+// newFaucet dials a connection that refills itself whenever drained.
+func newFaucet(d *workload.Dialer, src, dst *netsim.Host) *faucet {
+	f := &faucet{chunk: 1 << 20}
+	f.conn = d.Dial(src, dst, func() {
+		if f.active {
+			f.conn.Sender.Send(f.chunk)
+		}
+	}, nil)
+	return f
+}
+
+// Start opens the connection and begins sending.
+func (f *faucet) Start() {
+	f.active = true
+	f.conn.Sender.Open()
+	f.conn.Sender.Send(f.chunk)
+}
+
+// Resume re-activates an inactive faucet.
+func (f *faucet) Resume() {
+	if f.active {
+		return
+	}
+	f.active = true
+	f.conn.Sender.Send(f.chunk)
+}
+
+// Pause stops feeding; in-flight data drains naturally (the flow becomes
+// "silent" in the paper's terms, not closed).
+func (f *faucet) Pause() { f.active = false }

@@ -1,0 +1,89 @@
+package model
+
+import (
+	"math"
+	"testing"
+
+	"tfcsim/internal/netsim"
+	"tfcsim/internal/sim"
+)
+
+func TestPayloadEfficiency(t *testing.T) {
+	got := PayloadEfficiency(1460)
+	want := 1460.0 / 1538.0
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("efficiency = %v, want %v", got, want)
+	}
+}
+
+func TestBDPAndTokens(t *testing.T) {
+	if got := BDP(netsim.Gbps, 100*sim.Microsecond); got != 12500 {
+		t.Fatalf("BDP = %v, want 12500", got)
+	}
+	if got := Tokens(netsim.Gbps, 100*sim.Microsecond, 0.97); got != 12125 {
+		t.Fatalf("Tokens = %v", got)
+	}
+}
+
+func TestEffectiveFlows(t *testing.T) {
+	// The paper's Fig 1 example: slot = rtt1 = 2*rtt2 -> E = 1 + 2 = 3.
+	e := EffectiveFlows(100*sim.Microsecond,
+		[]sim.Time{100 * sim.Microsecond, 50 * sim.Microsecond})
+	if math.Abs(e-3) > 1e-9 {
+		t.Fatalf("E = %v, want 3 (paper Fig 1)", e)
+	}
+	if EffectiveFlows(100, []sim.Time{0}) != 0 {
+		t.Fatal("zero-RTT flows must be ignored")
+	}
+}
+
+func TestFairWindow(t *testing.T) {
+	// Fig 1: tokens = 6 packets, E = 3 -> W = 2 packets.
+	if got := FairWindow(6, 3); got != 2 {
+		t.Fatalf("W = %v, want 2 (paper Fig 1)", got)
+	}
+	if got := FairWindow(100, 0); got != 100 {
+		t.Fatal("E=0 should return the full token pool")
+	}
+}
+
+func TestWindowLimitedUtilization(t *testing.T) {
+	// No jitter: u = sqrt(rho0).
+	u := WindowLimitedUtilization(0.97, 50*sim.Microsecond, 50*sim.Microsecond)
+	if math.Abs(u-math.Sqrt(0.97)) > 1e-12 {
+		t.Fatalf("u = %v", u)
+	}
+	// rtt_m below rtt_b can't exceed 1.
+	if WindowLimitedUtilization(0.97, 100*sim.Microsecond, 50*sim.Microsecond) != 1 {
+		t.Fatal("utilization must cap at 1")
+	}
+	if WindowLimitedUtilization(0.97, 50*sim.Microsecond, 0) != 0 {
+		t.Fatal("zero rtt_m must return 0")
+	}
+}
+
+func TestGrantInterval(t *testing.T) {
+	// 1538 wire bytes at 0.97 Gbps: ~12.69us.
+	got := GrantInterval(netsim.Gbps, 0.97, 1460)
+	want := 1538.0 / (0.97 * 125e6) * 1e9
+	if math.Abs(float64(got)-want) > 2 {
+		t.Fatalf("grant interval = %v ns, want ~%v", got, want)
+	}
+}
+
+func TestQueueFromTokens(t *testing.T) {
+	if QueueFromTokens(10000, netsim.Gbps, 100*sim.Microsecond) != 0 {
+		t.Fatal("tokens below BDP must imply zero queue")
+	}
+	if got := QueueFromTokens(20000, netsim.Gbps, 100*sim.Microsecond); got != 7500 {
+		t.Fatalf("queue = %v, want 7500", got)
+	}
+}
+
+func TestIncastRoundTimePrediction(t *testing.T) {
+	// 60 senders x 256KB at 1G, rho0=0.97: ~136ms.
+	rt := IncastRoundTime(60, 256<<10, netsim.Gbps, 0.97, 1460)
+	if rt < 130*sim.Millisecond || rt > 145*sim.Millisecond {
+		t.Fatalf("predicted round time %v, want ~136ms", rt)
+	}
+}

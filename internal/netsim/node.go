@@ -1,0 +1,380 @@
+package netsim
+
+import (
+	"fmt"
+
+	"tfcsim/internal/sim"
+)
+
+// Node is a device attached to the network: a Host or a Switch.
+type Node interface {
+	ID() NodeID
+	Name() string
+	// Receive is invoked when a packet fully arrives over the link whose
+	// transmit side is from (store-and-forward semantics).
+	Receive(pkt *Packet, from *Port)
+	// Ports returns the node's transmit ports in creation order.
+	Ports() []*Port
+	addPort(p *Port)
+}
+
+type nodeBase struct {
+	id    NodeID
+	name  string
+	ports []*Port
+	net   *Network
+}
+
+func (n *nodeBase) ID() NodeID      { return n.id }
+func (n *nodeBase) Name() string    { return n.name }
+func (n *nodeBase) Ports() []*Port  { return n.ports }
+func (n *nodeBase) addPort(p *Port) { n.ports = append(n.ports, p) }
+
+// Interceptor lets a scheme take over forwarding of selected packets at a
+// switch. TFC uses this for its ACK delay arbiter (paper §4.6): RMA ACKs
+// whose window is below one MSS are held at the switch until the
+// token-bucket counter of the corresponding data-direction port covers a
+// full segment.
+type Interceptor interface {
+	// Intercept is called before pkt is queued on out. Returning true means
+	// the interceptor took ownership (it will enqueue pkt later itself).
+	Intercept(pkt *Packet, out *Port, sw *Switch) bool
+}
+
+// Switch is a store-and-forward output-queued switch with static routes.
+// Destinations reachable over several equal-cost ports are load-balanced
+// with flow-consistent (ECMP-style) hashing, so a flow's path — and with
+// it TFC's per-port window assignment — stays stable.
+type Switch struct {
+	nodeBase
+	routes map[NodeID][]*Port
+	// Interceptor, if non-nil, may defer forwarding of selected packets.
+	Interceptor Interceptor
+	// Unroutable counts packets with no route (diagnostics).
+	Unroutable int64
+}
+
+// Receive forwards the packet toward its destination.
+func (sw *Switch) Receive(pkt *Packet, from *Port) {
+	out := sw.routeFor(pkt.Flow, pkt.Dst)
+	if out == nil {
+		sw.Unroutable++
+		return
+	}
+	if sw.Interceptor != nil && sw.Interceptor.Intercept(pkt, out, sw) {
+		return
+	}
+	out.Enqueue(pkt)
+}
+
+// routeFor picks the (flow-consistent) output port toward dst.
+func (sw *Switch) routeFor(flow FlowID, dst NodeID) *Port {
+	ports := sw.routes[dst]
+	switch len(ports) {
+	case 0:
+		return nil
+	case 1:
+		return ports[0]
+	}
+	return ports[flowHash(flow)%uint64(len(ports))]
+}
+
+// flowHash mixes a flow ID into a well-distributed value (SplitMix64
+// finalizer).
+func flowHash(f FlowID) uint64 {
+	x := uint64(f) + 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// PortTo returns the first (lowest-index) transmit port used to reach
+// dst, or nil. With ECMP, PathTo gives the flow-specific choice.
+func (sw *Switch) PortTo(dst NodeID) *Port {
+	ports := sw.routes[dst]
+	if len(ports) == 0 {
+		return nil
+	}
+	return ports[0]
+}
+
+// PortsTo returns all equal-cost transmit ports toward dst.
+func (sw *Switch) PortsTo(dst NodeID) []*Port { return sw.routes[dst] }
+
+// PortFor returns the port a given flow toward dst uses.
+func (sw *Switch) PortFor(flow FlowID, dst NodeID) *Port {
+	return sw.routeFor(flow, dst)
+}
+
+// Endpoint consumes packets addressed to a flow at a host.
+type Endpoint interface {
+	Deliver(pkt *Packet)
+}
+
+// Host is an end system with a single NIC. Transport endpoints register by
+// FlowID; unknown SYNs are handed to the Listener to spawn a passive
+// endpoint (the accept path).
+type Host struct {
+	nodeBase
+	endpoints map[FlowID]Endpoint
+	// Listener creates a receiving endpoint for an incoming SYN of an
+	// unknown flow, or returns nil to refuse it.
+	Listener func(pkt *Packet) Endpoint
+	// Stray counts packets that matched no endpoint.
+	Stray int64
+	// Aux holds protocol-local per-host state (e.g. the credit transport's
+	// per-host pacer registry). Owned by whichever scheme sets it.
+	Aux any
+	// ProcJitter, when positive, adds a uniform [0, ProcJitter) host
+	// processing delay to every transmitted packet, FIFO-preserving.
+	// Real end hosts have this jitter, and TFC's rtt_b estimation relies
+	// on it: the min-filter at switches needs occasional fast rounds to
+	// observe the queueing-free RTT (paper §4.5 discusses exactly this).
+	ProcJitter sim.Time
+	procFree   sim.Time
+}
+
+// NIC returns the host's single transmit port (nil before it is wired).
+func (h *Host) NIC() *Port {
+	if len(h.ports) == 0 {
+		return nil
+	}
+	return h.ports[0]
+}
+
+// Send transmits a packet out of the host NIC, after the host's
+// (randomized) processing delay. The jitter models interrupt/wakeup
+// latency, so it applies only when the NIC pipeline is idle: a line-rate
+// stream is not throttled (packets ride the busy pipeline), while
+// window-limited senders pay a fresh random delay per packet — the
+// variance TFC's switch-side rtt_b min-filter depends on (paper §4.5).
+func (h *Host) Send(pkt *Packet) {
+	h.net.trace(TraceHostSend, h.name, pkt)
+	s := h.net.Sim
+	at := s.Now()
+	nic := h.NIC()
+	if h.ProcJitter > 0 && h.procFree <= at && !nic.Busy() && nic.QueueLen() == 0 {
+		// Capped exponential: mostly-small delays with occasional spikes
+		// up to ProcJitter (interrupt-coalescing-like), so the mean RTT
+		// inflation stays low while the variance the rtt_b min-filter
+		// needs is preserved.
+		j := sim.Time(s.Rand.ExpFloat64() * float64(h.ProcJitter) / 4)
+		if j > h.ProcJitter {
+			j = h.ProcJitter
+		}
+		at += j
+	}
+	if at < h.procFree {
+		at = h.procFree // processing is FIFO: no reordering
+	}
+	h.procFree = at
+	if at == s.Now() {
+		nic.Enqueue(pkt)
+		return
+	}
+	s.At(at, func() { nic.Enqueue(pkt) })
+}
+
+// Register binds an endpoint to a flow ID.
+func (h *Host) Register(id FlowID, ep Endpoint) { h.endpoints[id] = ep }
+
+// Unregister removes a flow binding.
+func (h *Host) Unregister(id FlowID) { delete(h.endpoints, id) }
+
+// Endpoint returns the endpoint bound to id, if any.
+func (h *Host) Endpoint(id FlowID) Endpoint { return h.endpoints[id] }
+
+// Receive demultiplexes to the flow endpoint, invoking the Listener for an
+// unknown SYN.
+func (h *Host) Receive(pkt *Packet, from *Port) {
+	ep, ok := h.endpoints[pkt.Flow]
+	if !ok {
+		if pkt.Flags&FlagSYN != 0 && pkt.Flags&FlagACK == 0 && h.Listener != nil {
+			if ep = h.Listener(pkt); ep != nil {
+				h.endpoints[pkt.Flow] = ep
+			}
+		}
+		if ep == nil {
+			h.Stray++
+			h.net.trace(TraceStray, h.name, pkt)
+			return
+		}
+	}
+	h.net.trace(TraceDeliver, h.name, pkt)
+	ep.Deliver(pkt)
+}
+
+// Sim returns the simulator driving this host's network.
+func (h *Host) Sim() *sim.Simulator { return h.net.Sim }
+
+// TraceEvent classifies a packet lifecycle notification.
+type TraceEvent uint8
+
+// Packet lifecycle events, in the order they occur along a path.
+const (
+	TraceHostSend TraceEvent = iota // transport handed the packet to the host
+	TraceEnqueue                    // packet admitted to a port queue
+	TraceDrop                       // packet dropped (drop-tail, hook, or loss)
+	TraceTx                         // frame fully serialized onto the link
+	TraceDeliver                    // delivered to the destination endpoint
+	TraceStray                      // arrived at a host with no endpoint
+)
+
+// String names the event.
+func (e TraceEvent) String() string {
+	switch e {
+	case TraceHostSend:
+		return "SEND"
+	case TraceEnqueue:
+		return "ENQ"
+	case TraceDrop:
+		return "DROP"
+	case TraceTx:
+		return "TX"
+	case TraceDeliver:
+		return "RECV"
+	case TraceStray:
+		return "STRAY"
+	}
+	return "?"
+}
+
+// Network is a collection of nodes plus the shared simulator and routing.
+type Network struct {
+	Sim    *sim.Simulator
+	nodes  []Node
+	nextID NodeID
+	// Trace, when set, receives every packet lifecycle event (tcpdump-like
+	// observability; adds one nil-check per event when unset).
+	Trace func(ev TraceEvent, at sim.Time, where string, pkt *Packet)
+}
+
+func (n *Network) trace(ev TraceEvent, where string, pkt *Packet) {
+	if n.Trace != nil {
+		n.Trace(ev, n.Sim.Now(), where, pkt)
+	}
+}
+
+// NewNetwork creates an empty network on the given simulator.
+func NewNetwork(s *sim.Simulator) *Network {
+	return &Network{Sim: s}
+}
+
+// Nodes returns all nodes in creation order.
+func (n *Network) Nodes() []Node { return n.nodes }
+
+// NewHost adds a host.
+func (n *Network) NewHost(name string) *Host {
+	h := &Host{
+		nodeBase:  nodeBase{id: n.nextID, name: name, net: n},
+		endpoints: make(map[FlowID]Endpoint),
+	}
+	n.nextID++
+	n.nodes = append(n.nodes, h)
+	return h
+}
+
+// NewSwitch adds a switch.
+func (n *Network) NewSwitch(name string) *Switch {
+	sw := &Switch{
+		nodeBase: nodeBase{id: n.nextID, name: name, net: n},
+		routes:   make(map[NodeID][]*Port),
+	}
+	n.nextID++
+	n.nodes = append(n.nodes, sw)
+	return sw
+}
+
+// LinkConfig describes a full-duplex cable.
+type LinkConfig struct {
+	Rate  Rate
+	Delay sim.Time
+	// BufA is the queue capacity (bytes) of the a→b port at node a; BufB of
+	// the b→a port at node b. Zero means unlimited (typical for host NICs,
+	// whose senders are window-limited).
+	BufA, BufB int
+}
+
+// Connect wires a full-duplex link between a and b, returning the two
+// directional ports (a→b, b→a).
+func (n *Network) Connect(a, b Node, cfg LinkConfig) (ab, ba *Port) {
+	ab = &Port{
+		sim: n.Sim, net: n, Owner: a, Peer: b, Rate: cfg.Rate, Delay: cfg.Delay,
+		BufBytes: cfg.BufA,
+		Label:    fmt.Sprintf("%s->%s", a.Name(), b.Name()),
+	}
+	ba = &Port{
+		sim: n.Sim, net: n, Owner: b, Peer: a, Rate: cfg.Rate, Delay: cfg.Delay,
+		BufBytes: cfg.BufB,
+		Label:    fmt.Sprintf("%s->%s", b.Name(), a.Name()),
+	}
+	a.addPort(ab)
+	b.addPort(ba)
+	return ab, ba
+}
+
+// ComputeRoutes installs next-hop route sets on every switch: for each
+// destination, all ports on a shortest path qualify (equal-cost
+// multipath); flows are spread over them with consistent hashing. Hosts
+// need no routes — they have a single NIC. Deterministic: port sets keep
+// creation order.
+func (n *Network) ComputeRoutes() {
+	const inf = int(^uint(0) >> 1)
+	// All-pairs hop distances via one BFS per node.
+	dist := make(map[NodeID][]int, len(n.nodes))
+	for _, src := range n.nodes {
+		d := make([]int, len(n.nodes))
+		for i := range d {
+			d[i] = inf
+		}
+		d[src.ID()] = 0
+		frontier := []Node{src}
+		for len(frontier) > 0 {
+			var next []Node
+			for _, u := range frontier {
+				for _, p := range u.Ports() {
+					v := p.Peer
+					if d[v.ID()] == inf {
+						d[v.ID()] = d[u.ID()] + 1
+						next = append(next, v)
+					}
+				}
+			}
+			frontier = next
+		}
+		dist[src.ID()] = d
+	}
+	for _, node := range n.nodes {
+		sw, ok := node.(*Switch)
+		if !ok {
+			continue
+		}
+		sw.routes = make(map[NodeID][]*Port, len(n.nodes))
+		for _, dst := range n.nodes {
+			if dst.ID() == sw.ID() {
+				continue
+			}
+			d := dist[sw.ID()][dst.ID()]
+			if d == inf {
+				continue
+			}
+			var ports []*Port
+			for _, p := range sw.Ports() {
+				if dist[p.Peer.ID()][dst.ID()] == d-1 {
+					ports = append(ports, p)
+				}
+			}
+			sw.routes[dst.ID()] = ports
+		}
+	}
+}
+
+// HostByID returns the host with the given node ID, or nil.
+func (n *Network) HostByID(id NodeID) *Host {
+	if int(id) < len(n.nodes) {
+		if h, ok := n.nodes[id].(*Host); ok {
+			return h
+		}
+	}
+	return nil
+}

@@ -1,0 +1,127 @@
+package netsim
+
+import "tfcsim/internal/sim"
+
+// PortHook observes and optionally modifies packets entering a port's
+// output queue. DCTCP's ECN marker and TFC's per-port token logic are
+// implemented as hooks, keeping the switch forwarding path generic.
+type PortHook interface {
+	// OnEnqueue runs before pkt joins the queue (and before the drop-tail
+	// admission check, mirroring hardware that counts arrivals at the
+	// port). It may modify pkt in place. Returning false drops the packet.
+	OnEnqueue(pkt *Packet, port *Port) bool
+}
+
+// Port is a unidirectional transmit port: a drop-tail FIFO feeding a link
+// with fixed rate and propagation delay. A full-duplex cable between two
+// nodes is a pair of Ports, one owned by each side.
+type Port struct {
+	sim   *sim.Simulator
+	net   *Network
+	Owner Node // node that transmits via this port
+	Peer  Node // node at the far end of the link
+	Label string
+
+	Rate  Rate
+	Delay sim.Time // propagation delay
+	// BufBytes is the queue capacity in frame bytes; 0 means unlimited.
+	BufBytes int
+	// Hook, if non-nil, runs for every packet entering the queue.
+	Hook PortHook
+	// LossRate, if positive, drops each arriving packet with this
+	// probability (failure injection for tests and experiments).
+	LossRate float64
+
+	queue  []*Packet
+	qBytes int
+	busy   bool
+
+	// Statistics.
+	Drops      int64
+	DropBytes  int64
+	TxPackets  int64
+	TxFrames   int64 // frame bytes transmitted (excl. wire overhead)
+	EnqPackets int64
+	// MaxQueue is the high-water mark of the queue in bytes; MaxQueueAt
+	// records when it was reached.
+	MaxQueue   int
+	MaxQueueAt sim.Time
+}
+
+// QueueBytes returns the current backlog in frame bytes (excluding the
+// frame being serialized).
+func (p *Port) QueueBytes() int { return p.qBytes }
+
+// QueueLen returns the number of queued frames.
+func (p *Port) QueueLen() int { return len(p.queue) }
+
+// Busy reports whether the port is currently serializing a frame.
+func (p *Port) Busy() bool { return p.busy }
+
+// Enqueue admits a packet to the port. The hook runs first; then drop-tail
+// admission; then the packet joins the FIFO and transmission starts if the
+// line is idle.
+func (p *Port) Enqueue(pkt *Packet) {
+	p.EnqPackets++
+	if p.Hook != nil && !p.Hook.OnEnqueue(pkt, p) {
+		p.Drops++
+		p.DropBytes += int64(pkt.FrameBytes())
+		p.net.trace(TraceDrop, p.Label, pkt)
+		return
+	}
+	if p.LossRate > 0 && p.sim.Rand.Float64() < p.LossRate {
+		p.Drops++
+		p.DropBytes += int64(pkt.FrameBytes())
+		p.net.trace(TraceDrop, p.Label, pkt)
+		return
+	}
+	fb := pkt.FrameBytes()
+	if p.BufBytes > 0 && p.qBytes+fb > p.BufBytes {
+		p.Drops++
+		p.DropBytes += int64(fb)
+		p.net.trace(TraceDrop, p.Label, pkt)
+		return
+	}
+	p.net.trace(TraceEnqueue, p.Label, pkt)
+	p.queue = append(p.queue, pkt)
+	p.qBytes += fb
+	if p.qBytes > p.MaxQueue {
+		p.MaxQueue = p.qBytes
+		p.MaxQueueAt = p.sim.Now()
+	}
+	if !p.busy {
+		p.startTx()
+	}
+}
+
+func (p *Port) startTx() {
+	pkt := p.queue[0]
+	copy(p.queue, p.queue[1:])
+	p.queue[len(p.queue)-1] = nil
+	p.queue = p.queue[:len(p.queue)-1]
+	p.qBytes -= pkt.FrameBytes()
+	p.busy = true
+	txTime := p.Rate.TxTime(pkt.WireBytes())
+	p.sim.After(txTime, func() {
+		p.TxPackets++
+		p.TxFrames += int64(pkt.FrameBytes())
+		p.net.trace(TraceTx, p.Label, pkt)
+		pkt.Hops++
+		p.sim.After(p.Delay, func() { p.Peer.Receive(pkt, p) })
+		if len(p.queue) > 0 {
+			p.startTx()
+		} else {
+			p.busy = false
+		}
+	})
+}
+
+// Utilization returns transmitted frame bytes divided by link capacity over
+// the window [since, now]. It can exceed 1 slightly because wire overhead
+// is excluded from TxFrames accounting but included in capacity use.
+func (p *Port) Utilization(since, now sim.Time, framesAtSince int64) float64 {
+	if now <= since {
+		return 0
+	}
+	return float64(p.TxFrames-framesAtSince) / p.Rate.BytesIn(now-since)
+}

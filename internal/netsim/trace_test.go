@@ -1,0 +1,100 @@
+package netsim
+
+import (
+	"testing"
+
+	"tfcsim/internal/sim"
+)
+
+func TestTraceLifecycle(t *testing.T) {
+	s := sim.New(1)
+	net := NewNetwork(s)
+	h1 := net.NewHost("h1")
+	h2 := net.NewHost("h2")
+	sw := net.NewSwitch("sw")
+	cfg := LinkConfig{Rate: Gbps, Delay: sim.Microsecond}
+	net.Connect(h1, sw, cfg)
+	net.Connect(sw, h2, cfg)
+	net.ComputeRoutes()
+	k := &sink{s: s}
+	h2.Register(1, k)
+
+	var evs []TraceEvent
+	var wheres []string
+	net.Trace = func(ev TraceEvent, at sim.Time, where string, pkt *Packet) {
+		evs = append(evs, ev)
+		wheres = append(wheres, where)
+	}
+	s.At(0, func() { h1.Send(&Packet{Flow: 1, Src: h1.ID(), Dst: h2.ID(), Payload: MSS}) })
+	s.Run()
+
+	want := []TraceEvent{TraceHostSend, TraceEnqueue, TraceTx, TraceEnqueue, TraceTx, TraceDeliver}
+	if len(evs) != len(want) {
+		t.Fatalf("events %v, want %v", evs, want)
+	}
+	for i := range want {
+		if evs[i] != want[i] {
+			t.Fatalf("event %d = %s, want %s (all: %v)", i, evs[i], want[i], evs)
+		}
+	}
+	if wheres[1] != "h1->sw" || wheres[3] != "sw->recv" && wheres[3] != "sw->h2" {
+		t.Fatalf("wheres: %v", wheres)
+	}
+}
+
+func TestTraceDropEvent(t *testing.T) {
+	s := sim.New(1)
+	net := NewNetwork(s)
+	h1 := net.NewHost("h1")
+	h2 := net.NewHost("h2")
+	sw := net.NewSwitch("sw")
+	net.Connect(h1, sw, LinkConfig{Rate: Gbps, Delay: sim.Microsecond})
+	net.Connect(sw, h2, LinkConfig{Rate: Gbps, Delay: sim.Microsecond})
+	net.ComputeRoutes()
+	sw.PortTo(h2.ID()).LossRate = 1.0
+	drops := 0
+	net.Trace = func(ev TraceEvent, at sim.Time, where string, pkt *Packet) {
+		if ev == TraceDrop {
+			drops++
+		}
+	}
+	h2.Register(1, &sink{s: s})
+	s.At(0, func() { h1.Send(&Packet{Flow: 1, Src: h1.ID(), Dst: h2.ID(), Payload: MSS}) })
+	s.Run()
+	if drops != 1 {
+		t.Fatalf("drop events = %d, want 1", drops)
+	}
+}
+
+func TestTraceEventStrings(t *testing.T) {
+	names := map[TraceEvent]string{
+		TraceHostSend: "SEND", TraceEnqueue: "ENQ", TraceDrop: "DROP",
+		TraceTx: "TX", TraceDeliver: "RECV", TraceStray: "STRAY",
+		TraceEvent(99): "?",
+	}
+	for ev, want := range names {
+		if ev.String() != want {
+			t.Errorf("%d.String() = %q, want %q", ev, ev.String(), want)
+		}
+	}
+}
+
+func TestTraceNilIsFree(t *testing.T) {
+	// With no tracer set, traffic must flow identically (smoke test that
+	// the nil-check path works everywhere).
+	s := sim.New(1)
+	net := NewNetwork(s)
+	h1 := net.NewHost("h1")
+	h2 := net.NewHost("h2")
+	sw := net.NewSwitch("sw")
+	net.Connect(h1, sw, LinkConfig{Rate: Gbps, Delay: sim.Microsecond})
+	net.Connect(sw, h2, LinkConfig{Rate: Gbps, Delay: sim.Microsecond})
+	net.ComputeRoutes()
+	k := &sink{s: s}
+	h2.Register(1, k)
+	s.At(0, func() { h1.Send(&Packet{Flow: 1, Src: h1.ID(), Dst: h2.ID(), Payload: MSS}) })
+	s.Run()
+	if len(k.pkts) != 1 {
+		t.Fatal("delivery failed without tracer")
+	}
+}

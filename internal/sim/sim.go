@@ -1,0 +1,184 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// The engine keeps virtual time as integer nanoseconds and executes events
+// in (time, insertion-order) order, which makes every run bit-for-bit
+// reproducible for a given seed. All simulation entities (links, switches,
+// transport endpoints, workload generators) schedule callbacks through a
+// single Simulator instance; the engine is strictly single-threaded.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+)
+
+// Time is a point in virtual time, in nanoseconds since the start of the
+// simulation. It is deliberately distinct from time.Time/time.Duration so
+// that wall-clock APIs cannot leak into simulated code.
+type Time int64
+
+// Convenient duration units, expressed as Time deltas.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// Seconds converts t to floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Micros converts t to floating-point microseconds.
+func (t Time) Micros() float64 { return float64(t) / float64(Microsecond) }
+
+// Millis converts t to floating-point milliseconds.
+func (t Time) Millis() float64 { return float64(t) / float64(Millisecond) }
+
+// String renders the time with an adaptive unit, e.g. "153.2us".
+func (t Time) String() string {
+	switch {
+	case t < 0:
+		return fmt.Sprintf("-%s", -t)
+	case t < Microsecond:
+		return fmt.Sprintf("%dns", int64(t))
+	case t < Millisecond:
+		return fmt.Sprintf("%.3gus", t.Micros())
+	case t < Second:
+		return fmt.Sprintf("%.4gms", t.Millis())
+	default:
+		return fmt.Sprintf("%.6gs", t.Seconds())
+	}
+}
+
+// Timer is a handle to a scheduled event. It may be stopped before it fires.
+// The zero value is not useful; Timers are created by Simulator.At/After.
+type Timer struct {
+	at      Time
+	seq     uint64
+	index   int // heap index, -1 once popped
+	fn      func()
+	stopped bool
+}
+
+// Stop cancels the timer if it has not fired yet. It reports whether the
+// call prevented the timer from firing.
+func (t *Timer) Stop() bool {
+	if t == nil || t.stopped || t.index == -1 {
+		return false
+	}
+	t.stopped = true
+	return true
+}
+
+// Active reports whether the timer is still pending.
+func (t *Timer) Active() bool { return t != nil && !t.stopped && t.index != -1 }
+
+// When returns the virtual time at which the timer fires (or fired).
+func (t *Timer) When() Time { return t.at }
+
+type eventHeap []*Timer
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	t := x.(*Timer)
+	t.index = len(*h)
+	*h = append(*h, t)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	t.index = -1
+	*h = old[:n-1]
+	return t
+}
+
+// Simulator owns virtual time and the pending-event queue.
+type Simulator struct {
+	now     Time
+	events  eventHeap
+	seq     uint64
+	stopped bool
+	// Rand is the experiment-scoped random source. It is seeded at
+	// construction so runs are reproducible.
+	Rand *rand.Rand
+	// executed counts events run so far (useful for budget guards in tests).
+	executed uint64
+}
+
+// New creates a simulator whose random source is seeded with seed.
+func New(seed int64) *Simulator {
+	return &Simulator{Rand: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (s *Simulator) Now() Time { return s.now }
+
+// Executed returns the number of events executed so far.
+func (s *Simulator) Executed() uint64 { return s.executed }
+
+// At schedules fn at absolute virtual time t. Scheduling in the past (or at
+// the present) runs the event at the current time but after all events
+// already queued for that time. It returns a cancellable handle.
+func (s *Simulator) At(t Time, fn func()) *Timer {
+	if t < s.now {
+		t = s.now
+	}
+	tm := &Timer{at: t, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.events, tm)
+	return tm
+}
+
+// After schedules fn d nanoseconds from now.
+func (s *Simulator) After(d Time, fn func()) *Timer {
+	return s.At(s.now+d, fn)
+}
+
+// Stop makes Run/RunUntil return after the current event completes.
+func (s *Simulator) Stop() { s.stopped = true }
+
+// Run executes events until the queue is empty or Stop is called.
+func (s *Simulator) Run() { s.RunUntil(Time(1<<62 - 1)) }
+
+// RunUntil executes events with timestamps <= end (or until the queue
+// drains, or Stop). On return, Now() is min(end, time of last event) — if
+// events remain past end, Now() is advanced to end.
+func (s *Simulator) RunUntil(end Time) {
+	s.stopped = false
+	for len(s.events) > 0 && !s.stopped {
+		next := s.events[0]
+		if next.at > end {
+			break
+		}
+		heap.Pop(&s.events)
+		if next.stopped {
+			continue
+		}
+		s.now = next.at
+		s.executed++
+		next.fn()
+	}
+	if s.now < end && !s.stopped && len(s.events) > 0 {
+		s.now = end
+	} else if len(s.events) == 0 && s.now < end {
+		// Queue drained; leave time at the last executed event.
+		_ = s.now
+	}
+}
+
+// Pending returns the number of queued (possibly stopped) events.
+func (s *Simulator) Pending() int { return len(s.events) }

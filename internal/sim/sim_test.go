@@ -1,0 +1,230 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTimeUnits(t *testing.T) {
+	if Second != 1e9 || Millisecond != 1e6 || Microsecond != 1e3 {
+		t.Fatalf("unit constants wrong: %d %d %d", Second, Millisecond, Microsecond)
+	}
+	if got := (2500 * Microsecond).Millis(); got != 2.5 {
+		t.Errorf("Millis = %v, want 2.5", got)
+	}
+	if got := (3 * Second).Seconds(); got != 3 {
+		t.Errorf("Seconds = %v, want 3", got)
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		in   Time
+		want string
+	}{
+		{500, "500ns"},
+		{1500, "1.5us"},
+		{2 * Millisecond, "2ms"},
+		{3 * Second, "3s"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("(%d).String() = %q, want %q", int64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestEventOrdering(t *testing.T) {
+	s := New(1)
+	var order []int
+	s.At(30, func() { order = append(order, 3) })
+	s.At(10, func() { order = append(order, 1) })
+	s.At(20, func() { order = append(order, 2) })
+	s.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v, want [1 2 3]", order)
+	}
+	if s.Now() != 30 {
+		t.Errorf("Now = %v, want 30", s.Now())
+	}
+}
+
+func TestSameTimeFIFO(t *testing.T) {
+	s := New(1)
+	var order []int
+	for i := 0; i < 100; i++ {
+		i := i
+		s.At(5, func() { order = append(order, i) })
+	}
+	s.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-timestamp events not FIFO: order[%d]=%d", i, v)
+		}
+	}
+}
+
+func TestAfterSchedulesRelative(t *testing.T) {
+	s := New(1)
+	var fired Time = -1
+	s.At(100, func() {
+		s.After(50, func() { fired = s.Now() })
+	})
+	s.Run()
+	if fired != 150 {
+		t.Fatalf("After fired at %d, want 150", fired)
+	}
+}
+
+func TestPastSchedulingClamped(t *testing.T) {
+	s := New(1)
+	var fired Time = -1
+	s.At(100, func() {
+		s.At(10, func() { fired = s.Now() }) // in the past
+	})
+	s.Run()
+	if fired != 100 {
+		t.Fatalf("past event fired at %d, want clamp to 100", fired)
+	}
+}
+
+func TestTimerStop(t *testing.T) {
+	s := New(1)
+	fired := false
+	tm := s.At(10, func() { fired = true })
+	if !tm.Active() {
+		t.Fatal("timer should be active before run")
+	}
+	if !tm.Stop() {
+		t.Fatal("Stop should report true on pending timer")
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop should report false")
+	}
+	s.Run()
+	if fired {
+		t.Fatal("stopped timer fired")
+	}
+	if tm.Active() {
+		t.Fatal("stopped timer reports active")
+	}
+}
+
+func TestStopAfterFire(t *testing.T) {
+	s := New(1)
+	tm := s.At(10, func() {})
+	s.Run()
+	if tm.Stop() {
+		t.Fatal("Stop after firing should report false")
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	s := New(1)
+	var fired []Time
+	for _, at := range []Time{10, 20, 30, 40} {
+		at := at
+		s.At(at, func() { fired = append(fired, at) })
+	}
+	s.RunUntil(25)
+	if len(fired) != 2 {
+		t.Fatalf("fired %v, want events at 10,20 only", fired)
+	}
+	if s.Now() != 25 {
+		t.Fatalf("Now = %v, want 25 (advanced to horizon)", s.Now())
+	}
+	s.RunUntil(100)
+	if len(fired) != 4 {
+		t.Fatalf("fired %v after resume, want all 4", fired)
+	}
+}
+
+func TestSimulatorStop(t *testing.T) {
+	s := New(1)
+	n := 0
+	s.At(1, func() { n++; s.Stop() })
+	s.At(2, func() { n++ })
+	s.Run()
+	if n != 1 {
+		t.Fatalf("executed %d events, want 1 (Stop)", n)
+	}
+	s.Run() // resumes
+	if n != 2 {
+		t.Fatalf("executed %d events after resume, want 2", n)
+	}
+}
+
+func TestDeterministicRand(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 100; i++ {
+		if a.Rand.Int63() != b.Rand.Int63() {
+			t.Fatal("same seed must give identical random streams")
+		}
+	}
+}
+
+func TestExecutedCount(t *testing.T) {
+	s := New(1)
+	for i := 0; i < 10; i++ {
+		s.At(Time(i), func() {})
+	}
+	s.Run()
+	if s.Executed() != 10 {
+		t.Fatalf("Executed = %d, want 10", s.Executed())
+	}
+}
+
+// Property: for any set of event times, execution order is sorted by time
+// and stable for equal times.
+func TestQuickEventOrderProperty(t *testing.T) {
+	f := func(times []uint16) bool {
+		s := New(7)
+		type rec struct {
+			at  Time
+			idx int
+		}
+		var got []rec
+		for i, raw := range times {
+			at := Time(raw)
+			i := i
+			s.At(at, func() { got = append(got, rec{at, i}) })
+		}
+		s.Run()
+		if len(got) != len(times) {
+			return false
+		}
+		for i := 1; i < len(got); i++ {
+			if got[i].at < got[i-1].at {
+				return false
+			}
+			if got[i].at == got[i-1].at && got[i].idx < got[i-1].idx {
+				return false // equal times must preserve insertion order
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	// An event chain built during execution must run to completion.
+	s := New(1)
+	depth := 0
+	var step func()
+	step = func() {
+		depth++
+		if depth < 1000 {
+			s.After(1, step)
+		}
+	}
+	s.At(0, step)
+	s.Run()
+	if depth != 1000 {
+		t.Fatalf("chain depth = %d, want 1000", depth)
+	}
+	if s.Now() != 999 {
+		t.Fatalf("Now = %v, want 999", s.Now())
+	}
+}

@@ -1,0 +1,500 @@
+// Package tcp implements TCP NewReno over the netsim substrate: slow
+// start, congestion avoidance, fast retransmit / fast recovery (RFC 6582),
+// and RFC 6298 retransmission timeouts. It also contains the optional
+// DCTCP window machinery (enabled through Config.DCTCP) so that package
+// dctcp can stay a thin layer adding ECN marking at switches.
+//
+// The implementation is deliberately testbed-era faithful: per-packet ACKs,
+// go-back-N on RTO, initial window of 2 segments, and a 200 ms default
+// minimum RTO — the ingredients of the incast collapse TFC's evaluation
+// measures against.
+package tcp
+
+import (
+	"fmt"
+
+	"tfcsim/internal/netsim"
+	"tfcsim/internal/sim"
+	"tfcsim/internal/transport"
+)
+
+// DCTCPParams configures DCTCP window reduction (paper [7] of TFC).
+type DCTCPParams struct {
+	// G is the EWMA gain for the marked fraction (DCTCP recommends 1/16).
+	G float64
+	// InitAlpha is the initial marked-fraction estimate (1.0 = conservative).
+	InitAlpha float64
+}
+
+// Config parameterizes one TCP connection.
+type Config struct {
+	Sim   *sim.Simulator
+	Local *netsim.Host // sender side
+	Peer  *netsim.Host // receiver side
+	Flow  netsim.FlowID
+
+	MSS          int      // default transport.DefaultMSS
+	InitCwndSegs int      // initial window in segments, default 2
+	MinRTO       sim.Time // default 200ms (Linux default of the paper era)
+	MaxRTO       sim.Time // default 60s
+	RcvWnd       int64    // advertised window, default 4MB (not enforced)
+
+	// DCTCP enables DCTCP behaviour: ECT on data packets, per-window
+	// marked-fraction estimation, and proportional cwnd reduction.
+	DCTCP *DCTCPParams
+
+	// OnDrain fires every time all currently queued bytes become
+	// acknowledged (used by request/response workloads on persistent
+	// connections).
+	OnDrain func()
+	// OnComplete fires once, when the flow is closed and fully
+	// acknowledged.
+	OnComplete func()
+}
+
+func (c *Config) fillDefaults() {
+	if c.MSS == 0 {
+		c.MSS = transport.DefaultMSS
+	}
+	if c.InitCwndSegs == 0 {
+		c.InitCwndSegs = 2
+	}
+	if c.MinRTO == 0 {
+		c.MinRTO = 200 * sim.Millisecond
+	}
+	if c.MaxRTO == 0 {
+		c.MaxRTO = 60 * sim.Second
+	}
+	if c.RcvWnd == 0 {
+		c.RcvWnd = transport.DefaultRcvWnd
+	}
+}
+
+// Sender states.
+const (
+	stateClosed = iota
+	stateSynSent
+	stateEstablished
+	stateDone
+)
+
+type dctcpState struct {
+	alpha       float64
+	g           float64
+	ackedBytes  int64
+	markedBytes int64
+	windowEnd   int64
+}
+
+// Sender is the sending half of a TCP connection.
+type Sender struct {
+	cfg Config
+	st  transport.Stats
+	est *transport.RTTEstimator
+
+	state   int
+	sndUna  int64
+	sndNxt  int64
+	budget  int64 // total bytes handed to Send
+	closing bool
+	finSent bool
+
+	cwnd     int64 // bytes
+	ssthresh int64
+	dupacks  int
+	inFR     bool
+	recover  int64
+
+	rto        *transport.RTOTimer
+	rtoBackoff uint
+
+	dctcp *dctcpState
+}
+
+// NewSender creates (and registers at the local host) the sending side.
+func NewSender(cfg Config) *Sender {
+	cfg.fillDefaults()
+	s := &Sender{
+		cfg:      cfg,
+		est:      transport.NewRTTEstimator(cfg.MinRTO, cfg.MaxRTO, 0),
+		ssthresh: 1 << 30,
+	}
+	s.rto = transport.NewRTOTimer(cfg.Sim, s.onRTO)
+	s.cwnd = int64(cfg.InitCwndSegs * cfg.MSS)
+	if cfg.DCTCP != nil {
+		g := cfg.DCTCP.G
+		if g == 0 {
+			g = 1.0 / 16
+		}
+		s.dctcp = &dctcpState{alpha: cfg.DCTCP.InitAlpha, g: g}
+	}
+	cfg.Local.Register(cfg.Flow, s)
+	return s
+}
+
+// Dial creates a sender and its matching receiver, registering both.
+func Dial(cfg Config) (*Sender, *Receiver) {
+	s := NewSender(cfg)
+	r := NewReceiver(cfg.Sim, cfg.Peer, cfg.Local, cfg.Flow)
+	return s, r
+}
+
+// Stats exposes the sender's statistics record.
+func (s *Sender) Stats() *transport.Stats { return &s.st }
+
+// Acked returns cumulative acknowledged bytes.
+func (s *Sender) Acked() int64 { return s.sndUna }
+
+// Queued returns cumulative bytes handed to Send.
+func (s *Sender) Queued() int64 { return s.budget }
+
+// Cwnd returns the current congestion window in bytes.
+func (s *Sender) Cwnd() int64 { return s.cwnd }
+
+// SRTT returns the smoothed RTT estimate (0 before the first sample).
+func (s *Sender) SRTT() sim.Time { return s.est.SRTT() }
+
+// Alpha returns the DCTCP marked-fraction estimate (0 if not DCTCP).
+func (s *Sender) Alpha() float64 {
+	if s.dctcp == nil {
+		return 0
+	}
+	return s.dctcp.alpha
+}
+
+// Open sends the SYN.
+func (s *Sender) Open() {
+	if s.state != stateClosed {
+		return
+	}
+	s.state = stateSynSent
+	s.st.Start = s.cfg.Sim.Now()
+	s.sendSYN()
+}
+
+// Send queues n more bytes on the stream.
+func (s *Sender) Send(n int64) {
+	if n <= 0 || s.closing {
+		return
+	}
+	s.budget += n
+	if s.state == stateEstablished {
+		s.trySend()
+	}
+}
+
+// Close marks the stream finished; a FIN goes out once drained.
+func (s *Sender) Close() {
+	s.closing = true
+	if s.state == stateEstablished && s.sndUna == s.budget {
+		s.finish()
+	}
+}
+
+func (s *Sender) flight() int64 { return s.sndNxt - s.sndUna }
+
+func (s *Sender) sendSYN() {
+	s.cfg.Local.Send(&netsim.Packet{
+		Flow: s.cfg.Flow, Src: s.cfg.Local.ID(), Dst: s.cfg.Peer.ID(),
+		Flags: netsim.FlagSYN, SentAt: s.cfg.Sim.Now(), Window: netsim.WindowUnset,
+	})
+	s.armRTO()
+}
+
+func (s *Sender) mkData(seq int64, n int) *netsim.Packet {
+	p := &netsim.Packet{
+		Flow: s.cfg.Flow, Src: s.cfg.Local.ID(), Dst: s.cfg.Peer.ID(),
+		Seq: seq, Payload: n, SentAt: s.cfg.Sim.Now(), Window: netsim.WindowUnset,
+	}
+	if s.dctcp != nil {
+		p.Flags |= netsim.FlagECT
+	}
+	return p
+}
+
+func (s *Sender) trySend() {
+	if s.state != stateEstablished {
+		return
+	}
+	for s.sndNxt < s.budget {
+		seg := int64(s.cfg.MSS)
+		if rem := s.budget - s.sndNxt; rem < seg {
+			seg = rem
+		}
+		if s.flight() > 0 && s.flight()+seg > s.cwnd {
+			break
+		}
+		if s.st.FirstSend == 0 && s.st.BytesAcked == 0 {
+			s.st.FirstSend = s.cfg.Sim.Now()
+		}
+		s.cfg.Local.Send(s.mkData(s.sndNxt, int(seg)))
+		s.sndNxt += seg
+	}
+	if s.flight() > 0 && !s.rto.Armed() {
+		s.armRTO()
+	}
+}
+
+// retransmit resends one segment starting at seq without advancing sndNxt.
+func (s *Sender) retransmit(seq int64) {
+	seg := int64(s.cfg.MSS)
+	if rem := s.budget - seq; rem < seg {
+		seg = rem
+	}
+	if seg <= 0 {
+		return
+	}
+	s.st.RtxBytes += seg
+	s.cfg.Local.Send(s.mkData(seq, int(seg)))
+}
+
+func (s *Sender) armRTO() {
+	d := s.est.RTO() << s.rtoBackoff
+	if d > s.cfg.MaxRTO {
+		d = s.cfg.MaxRTO
+	}
+	s.rto.Arm(d)
+}
+
+func (s *Sender) onRTO() {
+	if s.state == stateDone {
+		return
+	}
+	s.st.Timeouts++
+	s.rtoBackoff++
+	if s.state == stateSynSent {
+		s.sendSYN()
+		return
+	}
+	fl := s.flight()
+	if fl <= 0 {
+		return
+	}
+	s.ssthresh = maxI64(fl/2, int64(2*s.cfg.MSS))
+	s.cwnd = int64(s.cfg.MSS)
+	s.sndNxt = s.sndUna // go-back-N
+	s.dupacks = 0
+	s.inFR = false
+	s.st.RtxBytes += minI64(int64(s.cfg.MSS), s.budget-s.sndUna)
+	s.trySend()
+	s.armRTO()
+}
+
+// Deliver handles an incoming packet (ACK or SYNACK).
+func (s *Sender) Deliver(pkt *netsim.Packet) {
+	if s.state == stateDone {
+		return
+	}
+	if pkt.Flags&netsim.FlagSYN != 0 && pkt.Flags&netsim.FlagACK != 0 {
+		if s.state == stateSynSent {
+			s.state = stateEstablished
+			s.rtoBackoff = 0
+			s.est.Observe(s.cfg.Sim.Now() - pkt.SentAt)
+			s.rto.Stop()
+			if s.dctcp != nil {
+				s.dctcp.windowEnd = 0
+			}
+			s.trySend()
+			if s.budget == 0 && s.closing {
+				s.finish()
+			}
+		}
+		return
+	}
+	if pkt.Flags&netsim.FlagACK == 0 {
+		return
+	}
+	ack := pkt.Ack
+	switch {
+	case ack > s.sndUna:
+		newly := ack - s.sndUna
+		s.st.BytesAcked += newly
+		s.est.Observe(s.cfg.Sim.Now() - pkt.SentAt)
+		s.sndUna = ack
+		if s.sndNxt < s.sndUna {
+			s.sndNxt = s.sndUna
+		}
+		s.rtoBackoff = 0
+		if s.inFR {
+			if ack >= s.recover {
+				// Full acknowledgment: leave fast recovery.
+				s.inFR = false
+				s.dupacks = 0
+				s.cwnd = s.ssthresh
+			} else {
+				// Partial ACK (RFC 6582): retransmit the next hole,
+				// deflate, stay in recovery.
+				s.retransmit(s.sndUna)
+				s.cwnd = maxI64(s.cwnd-newly+int64(s.cfg.MSS), int64(s.cfg.MSS))
+			}
+		} else {
+			s.dupacks = 0
+			s.growCwnd(newly, pkt.Flags&netsim.FlagECE != 0)
+		}
+		if s.flight() > 0 {
+			s.armRTO()
+		} else {
+			s.rto.Stop()
+		}
+		s.trySend()
+		if s.sndUna == s.budget {
+			if s.cfg.OnDrain != nil {
+				s.cfg.OnDrain()
+			}
+			if s.closing {
+				s.finish()
+			}
+		}
+	case ack == s.sndUna && s.flight() > 0:
+		s.dupacks++
+		if s.inFR {
+			s.cwnd += int64(s.cfg.MSS) // window inflation
+			s.trySend()
+		} else if s.dupacks == 3 {
+			s.st.FastRtx++
+			s.ssthresh = maxI64(s.flight()/2, int64(2*s.cfg.MSS))
+			s.recover = s.sndNxt
+			s.inFR = true
+			s.cwnd = s.ssthresh + int64(3*s.cfg.MSS)
+			s.retransmit(s.sndUna)
+			s.armRTO()
+		}
+	}
+}
+
+// growCwnd applies slow start / congestion avoidance and, for DCTCP, the
+// per-window proportional reduction.
+func (s *Sender) growCwnd(newly int64, ece bool) {
+	if s.dctcp != nil {
+		d := s.dctcp
+		d.ackedBytes += newly
+		if ece {
+			d.markedBytes += newly
+		}
+		if s.sndUna >= d.windowEnd {
+			if d.ackedBytes > 0 {
+				f := float64(d.markedBytes) / float64(d.ackedBytes)
+				d.alpha = (1-d.g)*d.alpha + d.g*f
+				if d.markedBytes > 0 {
+					s.cwnd = maxI64(int64(float64(s.cwnd)*(1-d.alpha/2)), int64(s.cfg.MSS))
+					s.ssthresh = s.cwnd
+				}
+			}
+			d.ackedBytes, d.markedBytes = 0, 0
+			d.windowEnd = s.sndNxt
+			if ece {
+				// The window that just ended saw marks; growth pauses.
+				return
+			}
+		}
+	}
+	if s.cwnd < s.ssthresh {
+		s.cwnd += minI64(newly, int64(s.cfg.MSS))
+	} else {
+		add := int64(s.cfg.MSS) * int64(s.cfg.MSS) / s.cwnd
+		if add < 1 {
+			add = 1
+		}
+		s.cwnd += add
+	}
+}
+
+func (s *Sender) finish() {
+	if s.state == stateDone {
+		return
+	}
+	s.state = stateDone
+	if !s.finSent {
+		s.finSent = true
+		s.cfg.Local.Send(&netsim.Packet{
+			Flow: s.cfg.Flow, Src: s.cfg.Local.ID(), Dst: s.cfg.Peer.ID(),
+			Flags: netsim.FlagFIN, Seq: s.sndNxt, SentAt: s.cfg.Sim.Now(),
+			Window: netsim.WindowUnset,
+		})
+	}
+	s.rto.Stop()
+	s.st.Done = true
+	s.st.Completed = s.cfg.Sim.Now()
+	if s.cfg.OnComplete != nil {
+		s.cfg.OnComplete()
+	}
+}
+
+func (s *Sender) String() string {
+	return fmt.Sprintf("tcp.Sender{flow=%d una=%d nxt=%d cwnd=%d}",
+		s.cfg.Flow, s.sndUna, s.sndNxt, s.cwnd)
+}
+
+// Receiver is the receiving half: cumulative per-packet ACKs with ECN echo
+// and out-of-order reassembly. It is shared by TCP, DCTCP and (with RMA
+// handling) wrapped by TFC's receiver.
+type Receiver struct {
+	sim   *sim.Simulator
+	host  *netsim.Host
+	peer  *netsim.Host
+	flow  netsim.FlowID
+	reasm transport.Reassembly
+
+	// Received is the cumulative in-order byte count.
+	// FinAt records FIN arrival (0 if none yet).
+	FinAt sim.Time
+	// OnData, if set, fires after every in-order advance with the new
+	// cumulative count.
+	OnData func(total int64)
+}
+
+// NewReceiver creates (and registers at host) the receiving side.
+func NewReceiver(s *sim.Simulator, host, peer *netsim.Host, flow netsim.FlowID) *Receiver {
+	r := &Receiver{sim: s, host: host, peer: peer, flow: flow}
+	host.Register(flow, r)
+	return r
+}
+
+// Received returns the cumulative in-order bytes delivered.
+func (r *Receiver) Received() int64 { return r.reasm.Next() }
+
+// Deliver processes an arriving packet.
+func (r *Receiver) Deliver(pkt *netsim.Packet) {
+	switch {
+	case pkt.Flags&netsim.FlagSYN != 0:
+		r.send(&netsim.Packet{
+			Flow: r.flow, Src: r.host.ID(), Dst: r.peer.ID(),
+			Flags:  netsim.FlagSYN | netsim.FlagACK,
+			Ack:    r.reasm.Next(),
+			SentAt: pkt.SentAt, Window: netsim.WindowUnset,
+		})
+	case pkt.Flags&netsim.FlagFIN != 0:
+		r.FinAt = r.sim.Now()
+	case pkt.Payload > 0:
+		before := r.reasm.Next()
+		next := r.reasm.Add(pkt.Seq, pkt.Payload)
+		flags := netsim.FlagACK
+		if pkt.Flags&netsim.FlagCE != 0 {
+			flags |= netsim.FlagECE
+		}
+		r.send(&netsim.Packet{
+			Flow: r.flow, Src: r.host.ID(), Dst: r.peer.ID(),
+			Flags: flags, Ack: next,
+			SentAt: pkt.SentAt, Window: netsim.WindowUnset,
+		})
+		if next > before && r.OnData != nil {
+			r.OnData(next)
+		}
+	}
+}
+
+func (r *Receiver) send(pkt *netsim.Packet) { r.host.Send(pkt) }
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minI64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,104 @@
+// Package trace exports experiment measurements (time series, CDFs,
+// tables) as CSV, so the paper's figures can be re-plotted with any
+// external tool from `tfcsim run <fig> -csv <dir>` output.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"tfcsim/internal/stats"
+)
+
+// WriteTimeSeries writes (time_us, value) rows.
+func WriteTimeSeries(w io.Writer, header string, ts *stats.TimeSeries) error {
+	if _, err := fmt.Fprintf(w, "time_us,%s\n", header); err != nil {
+		return err
+	}
+	for i := range ts.T {
+		if _, err := fmt.Fprintf(w, "%.3f,%g\n", ts.T[i].Micros(), ts.V[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteMultiSeries writes aligned series sharing timestamps taken from the
+// first series; shorter series pad with empty cells.
+func WriteMultiSeries(w io.Writer, names []string, series []*stats.TimeSeries) error {
+	if len(names) != len(series) {
+		return fmt.Errorf("trace: %d names for %d series", len(names), len(series))
+	}
+	if _, err := fmt.Fprintf(w, "time_us,%s\n", strings.Join(names, ",")); err != nil {
+		return err
+	}
+	if len(series) == 0 {
+		return nil
+	}
+	n := 0
+	for _, s := range series {
+		if s.N() > n {
+			n = s.N()
+		}
+	}
+	for i := 0; i < n; i++ {
+		var b strings.Builder
+		if i < series[0].N() {
+			fmt.Fprintf(&b, "%.3f", series[0].T[i].Micros())
+		}
+		for _, s := range series {
+			b.WriteByte(',')
+			if i < s.N() {
+				fmt.Fprintf(&b, "%g", s.V[i])
+			}
+		}
+		b.WriteByte('\n')
+		if _, err := io.WriteString(w, b.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCDF writes (value, cumulative_fraction) rows of a sample.
+func WriteCDF(w io.Writer, header string, s *stats.Sample) error {
+	if _, err := fmt.Fprintf(w, "%s,cdf\n", header); err != nil {
+		return err
+	}
+	xs, fr := s.CDF()
+	for i := range xs {
+		if _, err := fmt.Fprintf(w, "%g,%g\n", xs[i], fr[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteTable writes a stats.Table as CSV (header + rows).
+func WriteTable(w io.Writer, t *stats.Table) error {
+	if _, err := fmt.Fprintln(w, strings.Join(t.Header, ",")); err != nil {
+		return err
+	}
+	for _, r := range t.Rows {
+		if _, err := fmt.Fprintln(w, strings.Join(r, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SaveTo writes via fn into dir/name (creating dir as needed).
+func SaveTo(dir, name string, fn func(io.Writer) error) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return fn(f)
+}

@@ -1,0 +1,96 @@
+package trace
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"tfcsim/internal/sim"
+	"tfcsim/internal/stats"
+)
+
+func TestWriteTimeSeries(t *testing.T) {
+	var ts stats.TimeSeries
+	ts.Add(sim.Microsecond, 1.5)
+	ts.Add(2*sim.Microsecond, 2.5)
+	var b strings.Builder
+	if err := WriteTimeSeries(&b, "queue_bytes", &ts); err != nil {
+		t.Fatal(err)
+	}
+	want := "time_us,queue_bytes\n1.000,1.5\n2.000,2.5\n"
+	if b.String() != want {
+		t.Fatalf("got %q, want %q", b.String(), want)
+	}
+}
+
+func TestWriteMultiSeries(t *testing.T) {
+	var a, c stats.TimeSeries
+	a.Add(sim.Microsecond, 1)
+	a.Add(2*sim.Microsecond, 2)
+	c.Add(sim.Microsecond, 10)
+	var b strings.Builder
+	if err := WriteMultiSeries(&b, []string{"f1", "f2"}, []*stats.TimeSeries{&a, &c}); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %v", lines)
+	}
+	if lines[0] != "time_us,f1,f2" {
+		t.Fatalf("header %q", lines[0])
+	}
+	if lines[2] != "2.000,2," {
+		t.Fatalf("padded row %q", lines[2])
+	}
+}
+
+func TestWriteMultiSeriesMismatch(t *testing.T) {
+	var b strings.Builder
+	if err := WriteMultiSeries(&b, []string{"a"}, nil); err == nil {
+		t.Fatal("expected error on name/series mismatch")
+	}
+}
+
+func TestWriteCDF(t *testing.T) {
+	var s stats.Sample
+	s.Add(1)
+	s.Add(1)
+	s.Add(3)
+	var b strings.Builder
+	if err := WriteCDF(&b, "fct_us", &s); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 3 || lines[1] != "1,0.6666666666666666" {
+		t.Fatalf("cdf output: %v", lines)
+	}
+}
+
+func TestWriteTable(t *testing.T) {
+	tb := &stats.Table{Header: []string{"a", "b"}}
+	tb.AddRow("1", "2")
+	var b strings.Builder
+	if err := WriteTable(&b, tb); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != "a,b\n1,2\n" {
+		t.Fatalf("table csv: %q", b.String())
+	}
+}
+
+func TestSaveTo(t *testing.T) {
+	dir := t.TempDir()
+	err := SaveTo(filepath.Join(dir, "sub"), "x.csv", func(w io.Writer) error {
+		_, err := io.WriteString(w, "hello")
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "sub", "x.csv"))
+	if err != nil || string(data) != "hello" {
+		t.Fatalf("read back: %q %v", data, err)
+	}
+}

@@ -1,0 +1,54 @@
+package transport
+
+import (
+	"testing"
+
+	"tfcsim/internal/sim"
+)
+
+// FuzzReassembly drives the reassembly buffer with an arbitrary byte
+// script (pairs of start/len nibbles) and checks its invariants: next is
+// monotone, bounded by the max byte written, and buffered bytes are
+// finite and beyond next.
+func FuzzReassembly(f *testing.F) {
+	f.Add([]byte{0, 10, 10, 10, 5, 20})
+	f.Add([]byte{100, 50, 0, 100, 150, 1})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, script []byte) {
+		var r Reassembly
+		var maxEnd, prev int64
+		for i := 0; i+1 < len(script); i += 2 {
+			start := int64(script[i]) * 37 // spread offsets
+			n := int(script[i+1])
+			if end := start + int64(n); end > maxEnd {
+				maxEnd = end
+			}
+			got := r.Add(start, n)
+			if got < prev {
+				t.Fatalf("next went backwards: %d -> %d", prev, got)
+			}
+			if got > maxEnd {
+				t.Fatalf("next %d beyond max written byte %d", got, maxEnd)
+			}
+			if b := r.Buffered(); b < 0 || b > maxEnd {
+				t.Fatalf("buffered %d out of range", b)
+			}
+			prev = got
+		}
+	})
+}
+
+// FuzzRTTEstimator checks the estimator never yields an RTO outside its
+// clamps for arbitrary sample streams.
+func FuzzRTTEstimator(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 255, 0, 9})
+	f.Fuzz(func(t *testing.T, samples []byte) {
+		e := NewRTTEstimator(1000, 1000000, 0)
+		for _, s := range samples {
+			e.Observe(sim.Time(1 + 1000*int64(s)))
+		}
+		if rto := e.RTO(); rto < 1000 || rto > 1000000 {
+			t.Fatalf("RTO %d outside clamps", rto)
+		}
+	})
+}

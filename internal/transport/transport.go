@@ -1,0 +1,247 @@
+// Package transport provides plumbing shared by the transport protocols
+// (TCP NewReno, DCTCP, TFC): RFC 6298 RTT estimation, in-order reassembly,
+// per-flow statistics, and flow-ID allocation.
+package transport
+
+import (
+	"sort"
+
+	"tfcsim/internal/netsim"
+	"tfcsim/internal/sim"
+)
+
+// Default protocol parameters.
+const (
+	DefaultMSS     = netsim.MSS
+	DefaultRcvWnd  = 4 << 20 // 4 MB advertised window
+	DefaultInitRTO = 3 * sim.Millisecond
+)
+
+// RTTEstimator implements the RFC 6298 SRTT/RTTVAR retransmission-timeout
+// computation with configurable clamps. The zero value is unusable; create
+// with NewRTTEstimator.
+type RTTEstimator struct {
+	srtt, rttvar sim.Time
+	valid        bool
+	minRTO       sim.Time
+	maxRTO       sim.Time
+	initRTO      sim.Time
+}
+
+// NewRTTEstimator builds an estimator with the given RTO clamps. Zero
+// arguments select the defaults (min as given, max 60 s, initial 3 ms —
+// scaled for data-center RTTs).
+func NewRTTEstimator(minRTO, maxRTO, initRTO sim.Time) *RTTEstimator {
+	if maxRTO == 0 {
+		maxRTO = 60 * sim.Second
+	}
+	if initRTO == 0 {
+		initRTO = DefaultInitRTO
+	}
+	if initRTO < minRTO {
+		initRTO = minRTO
+	}
+	return &RTTEstimator{minRTO: minRTO, maxRTO: maxRTO, initRTO: initRTO}
+}
+
+// Observe records one RTT sample (callers must apply Karn's rule first).
+func (e *RTTEstimator) Observe(rtt sim.Time) {
+	if rtt <= 0 {
+		rtt = 1
+	}
+	if !e.valid {
+		e.srtt = rtt
+		e.rttvar = rtt / 2
+		e.valid = true
+		return
+	}
+	// RFC 6298: RTTVAR = 3/4 RTTVAR + 1/4 |SRTT-R'|, SRTT = 7/8 SRTT + 1/8 R'.
+	d := e.srtt - rtt
+	if d < 0 {
+		d = -d
+	}
+	e.rttvar = (3*e.rttvar + d) / 4
+	e.srtt = (7*e.srtt + rtt) / 8
+}
+
+// SRTT returns the smoothed RTT (0 until the first sample).
+func (e *RTTEstimator) SRTT() sim.Time {
+	if !e.valid {
+		return 0
+	}
+	return e.srtt
+}
+
+// RTO returns the current retransmission timeout.
+func (e *RTTEstimator) RTO() sim.Time {
+	if !e.valid {
+		return e.initRTO
+	}
+	rto := e.srtt + 4*e.rttvar
+	if rto < e.minRTO {
+		rto = e.minRTO
+	}
+	if rto > e.maxRTO {
+		rto = e.maxRTO
+	}
+	return rto
+}
+
+// Stats aggregates the lifetime of one flow.
+type Stats struct {
+	Start      sim.Time // when the application opened the flow
+	FirstSend  sim.Time // first data transmission
+	Completed  sim.Time // all bytes acknowledged (valid when Done)
+	Done       bool
+	BytesAcked int64
+	Timeouts   int64 // RTO expirations
+	FastRtx    int64 // fast retransmits
+	RtxBytes   int64 // retransmitted bytes
+}
+
+// FCT returns the flow completion time (Completed - Start). It is only
+// meaningful when Done.
+func (s *Stats) FCT() sim.Time { return s.Completed - s.Start }
+
+type seg struct {
+	start, end int64 // [start, end)
+}
+
+// Reassembly tracks received byte ranges and the next in-order byte,
+// implementing cumulative-ACK semantics with out-of-order buffering.
+type Reassembly struct {
+	next int64
+	segs []seg // sorted, non-overlapping, all beyond next
+}
+
+// Next returns the next expected in-order byte (the cumulative ACK value).
+func (r *Reassembly) Next() int64 { return r.next }
+
+// Buffered returns the number of bytes held out of order.
+func (r *Reassembly) Buffered() int64 {
+	var n int64
+	for _, s := range r.segs {
+		n += s.end - s.start
+	}
+	return n
+}
+
+// Add records receipt of [start, start+n) and returns the new cumulative
+// next-expected byte. Duplicate and overlapping data is tolerated.
+func (r *Reassembly) Add(start int64, n int) int64 {
+	if n <= 0 {
+		return r.next
+	}
+	end := start + int64(n)
+	if end <= r.next {
+		return r.next // fully duplicate
+	}
+	if start < r.next {
+		start = r.next
+	}
+	// Insert/merge [start, end) into segs.
+	i := sort.Search(len(r.segs), func(i int) bool { return r.segs[i].end >= start })
+	merged := seg{start, end}
+	j := i
+	for j < len(r.segs) && r.segs[j].start <= merged.end {
+		if r.segs[j].start < merged.start {
+			merged.start = r.segs[j].start
+		}
+		if r.segs[j].end > merged.end {
+			merged.end = r.segs[j].end
+		}
+		j++
+	}
+	r.segs = append(r.segs[:i], append([]seg{merged}, r.segs[j:]...)...)
+	// Advance next over any now-contiguous prefix.
+	for len(r.segs) > 0 && r.segs[0].start <= r.next {
+		if r.segs[0].end > r.next {
+			r.next = r.segs[0].end
+		}
+		r.segs = r.segs[1:]
+	}
+	return r.next
+}
+
+// IDGen allocates unique FlowIDs for one experiment.
+type IDGen struct{ next netsim.FlowID }
+
+// Next returns a fresh flow ID (starting at 1; 0 is reserved/invalid).
+func (g *IDGen) Next() netsim.FlowID {
+	g.next++
+	return g.next
+}
+
+// Sender is the interface workloads use to drive any protocol's sender.
+type Sender interface {
+	// Open initiates the connection handshake. It must be called once,
+	// from simulation context.
+	Open()
+	// Send appends n bytes to the stream (may be called repeatedly; the
+	// connection persists, enabling on-off flows).
+	Send(n int64)
+	// Acked returns the cumulative acknowledged byte count.
+	Acked() int64
+	// Queued returns the total bytes handed to Send so far.
+	Queued() int64
+	// Stats exposes the flow's statistics record.
+	Stats() *Stats
+	// Close sends a FIN once all queued data is acknowledged (or now, if
+	// it already is). Further Sends are invalid.
+	Close()
+}
+
+// RTOTimer is a lazily re-armed retransmission timer. Arming it merely
+// records the new deadline; the underlying simulator timer is only
+// (re)scheduled when none is pending or when it fires early, so an
+// ACK-clocked sender re-arming on every ACK creates O(1) live timer
+// entries per RTO period instead of one per ACK.
+type RTOTimer struct {
+	s        *sim.Simulator
+	fn       func()
+	deadline sim.Time
+	timer    *sim.Timer
+	armed    bool
+}
+
+// NewRTOTimer creates a timer that runs fn when an armed deadline expires.
+func NewRTOTimer(s *sim.Simulator, fn func()) *RTOTimer {
+	return &RTOTimer{s: s, fn: fn}
+}
+
+// Arm (re)sets the timer to fire d from now.
+func (t *RTOTimer) Arm(d sim.Time) {
+	t.deadline = t.s.Now() + d
+	t.armed = true
+	if t.timer.Active() {
+		// A pending timer firing at or before the deadline will re-check
+		// and re-schedule itself; one firing later must be replaced.
+		if t.timer.When() <= t.deadline {
+			return
+		}
+		t.timer.Stop()
+	}
+	t.schedule()
+}
+
+func (t *RTOTimer) schedule() {
+	t.timer = t.s.At(t.deadline, t.onFire)
+}
+
+func (t *RTOTimer) onFire() {
+	if !t.armed {
+		return
+	}
+	if now := t.s.Now(); now < t.deadline {
+		t.schedule() // deadline moved later; keep waiting
+		return
+	}
+	t.armed = false
+	t.fn()
+}
+
+// Stop disarms the timer (a pending underlying timer becomes a no-op).
+func (t *RTOTimer) Stop() { t.armed = false }
+
+// Armed reports whether a deadline is pending.
+func (t *RTOTimer) Armed() bool { return t.armed }

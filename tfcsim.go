@@ -1,0 +1,133 @@
+// Package tfcsim is a packet-level data-center network simulator built to
+// reproduce "TFC: Token Flow Control in Data Center Networks" (Zhang,
+// Ren, Shu, Cheng — EuroSys 2016), together with the baselines the paper
+// evaluates against (TCP NewReno and DCTCP) and a harness that regenerates
+// every figure of the paper's evaluation.
+//
+// The package is a facade over the implementation packages:
+//
+//   - internal/sim     — deterministic discrete-event engine
+//   - internal/netsim  — hosts, switches, links, routing
+//   - internal/core    — TFC (the paper's contribution)
+//   - internal/tcp     — TCP NewReno (+ DCTCP window machinery)
+//   - internal/dctcp   — DCTCP ECN marking and constructors
+//   - internal/workload— incast and web-search benchmark generators
+//   - internal/exp     — one runner per paper figure
+//
+// # Quick start
+//
+//	s := tfcsim.NewSimulator(1)
+//	net := tfcsim.NewNetwork(s)
+//	a, b := net.NewHost("a"), net.NewHost("b")
+//	sw := net.NewSwitch("sw")
+//	net.Connect(a, sw, tfcsim.LinkConfig{Rate: tfcsim.Gbps, Delay: 5 * tfcsim.Microsecond})
+//	net.Connect(sw, b, tfcsim.LinkConfig{Rate: tfcsim.Gbps, Delay: 5 * tfcsim.Microsecond, BufA: 256 << 10})
+//	net.ComputeRoutes()
+//	tfcsim.AttachTFC(s, sw, tfcsim.TFCConfig{})
+//	d := &tfcsim.Dialer{Sim: s, Proto: tfcsim.TFC}
+//	conn := d.Dial(a, b, nil, nil)
+//	conn.Sender.Open()
+//	conn.Sender.Send(1 << 20)
+//	s.RunUntil(100 * tfcsim.Millisecond)
+//
+// Or run a whole paper experiment:
+//
+//	out, err := tfcsim.RunExperiment("fig12", tfcsim.Quick)
+package tfcsim
+
+import (
+	"tfcsim/internal/core"
+	"tfcsim/internal/dctcp"
+	"tfcsim/internal/netsim"
+	"tfcsim/internal/sim"
+	"tfcsim/internal/workload"
+)
+
+// Core simulation types, re-exported for library consumers.
+type (
+	// Simulator is the deterministic discrete-event engine.
+	Simulator = sim.Simulator
+	// Time is virtual time in nanoseconds.
+	Time = sim.Time
+	// Timer is a cancellable scheduled event.
+	Timer = sim.Timer
+
+	// Network is a collection of hosts, switches and links.
+	Network = netsim.Network
+	// Host is an end system with one NIC.
+	Host = netsim.Host
+	// Switch is a store-and-forward output-queued switch.
+	Switch = netsim.Switch
+	// Port is a unidirectional transmit port (queue + link).
+	Port = netsim.Port
+	// LinkConfig describes a full-duplex cable.
+	LinkConfig = netsim.LinkConfig
+	// Packet is one network packet.
+	Packet = netsim.Packet
+	// Rate is link bandwidth in bits/second.
+	Rate = netsim.Rate
+	// FlowID identifies one transport connection.
+	FlowID = netsim.FlowID
+
+	// Proto selects a transport protocol for workloads.
+	Proto = workload.Proto
+	// Dialer creates connections of a chosen protocol.
+	Dialer = workload.Dialer
+	// Conn couples a sender with its receiver-side byte counter.
+	Conn = workload.Conn
+
+	// TFCConfig parameterizes TFC's switch behaviour (rho0, alpha, ...).
+	TFCConfig = core.SwitchConfig
+	// TFCSwitchState exposes per-port TFC state for inspection.
+	TFCSwitchState = core.SwitchState
+	// SlotInfo reports one completed TFC time slot.
+	SlotInfo = core.SlotInfo
+)
+
+// Time units.
+const (
+	Nanosecond  = sim.Nanosecond
+	Microsecond = sim.Microsecond
+	Millisecond = sim.Millisecond
+	Second      = sim.Second
+)
+
+// Rate units.
+const (
+	Kbps = netsim.Kbps
+	Mbps = netsim.Mbps
+	Gbps = netsim.Gbps
+)
+
+// Protocols.
+const (
+	TFC   = workload.TFC
+	TCP   = workload.TCP
+	DCTCP = workload.DCTCP
+	// CREDIT is an ExpressPass-style receiver-driven credit transport,
+	// included as a second credit-based baseline (see internal/credit).
+	CREDIT = workload.CREDIT
+)
+
+// MSS is the default maximum segment size (bytes).
+const MSS = netsim.MSS
+
+// NewSimulator creates a deterministic simulator seeded with seed.
+func NewSimulator(seed int64) *Simulator { return sim.New(seed) }
+
+// NewNetwork creates an empty network on the simulator.
+func NewNetwork(s *Simulator) *Network { return netsim.NewNetwork(s) }
+
+// AttachTFC enables TFC on a switch: every port gets token/effective-flow
+// state and the RMA delay arbiter is installed.
+func AttachTFC(s *Simulator, sw *Switch, cfg TFCConfig) *TFCSwitchState {
+	return core.Attach(s, sw, cfg)
+}
+
+// AttachDCTCPMarking installs DCTCP's instantaneous-queue ECN marking
+// (threshold k bytes) on every port of sw.
+func AttachDCTCPMarking(sw *Switch, k int) { dctcp.AttachMarking(sw, k) }
+
+// DCTCPThreshold returns the paper's marking threshold for a link rate
+// (32 KB at 1 Gbps, 65 frames at 10 Gbps).
+func DCTCPThreshold(rate Rate) int { return dctcp.KFor(rate) }

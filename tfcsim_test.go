@@ -1,0 +1,138 @@
+package tfcsim
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFacadeQuickstart(t *testing.T) {
+	// The README/package-doc example must actually work.
+	s := NewSimulator(1)
+	net := NewNetwork(s)
+	a, b := net.NewHost("a"), net.NewHost("b")
+	sw := net.NewSwitch("sw")
+	net.Connect(a, sw, LinkConfig{Rate: Gbps, Delay: 5 * Microsecond})
+	net.Connect(sw, b, LinkConfig{Rate: Gbps, Delay: 5 * Microsecond, BufA: 256 << 10})
+	net.ComputeRoutes()
+	AttachTFC(s, sw, TFCConfig{})
+	d := &Dialer{Sim: s, Proto: TFC}
+	conn := d.Dial(a, b, nil, nil)
+	conn.Sender.Open()
+	conn.Sender.Send(1 << 20)
+	s.RunUntil(100 * Millisecond)
+	if conn.Received() != 1<<20 {
+		t.Fatalf("received %d, want 1MB", conn.Received())
+	}
+}
+
+func TestFacadeAllProtocols(t *testing.T) {
+	for _, p := range []Proto{TFC, TCP, DCTCP} {
+		s := NewSimulator(2)
+		net := NewNetwork(s)
+		a, b := net.NewHost("a"), net.NewHost("b")
+		sw := net.NewSwitch("sw")
+		net.Connect(a, sw, LinkConfig{Rate: Gbps, Delay: 5 * Microsecond})
+		net.Connect(sw, b, LinkConfig{Rate: Gbps, Delay: 5 * Microsecond, BufA: 256 << 10})
+		net.ComputeRoutes()
+		switch p {
+		case TFC:
+			AttachTFC(s, sw, TFCConfig{})
+		case DCTCP:
+			AttachDCTCPMarking(sw, DCTCPThreshold(Gbps))
+		}
+		d := &Dialer{Sim: s, Proto: p}
+		conn := d.Dial(a, b, nil, nil)
+		conn.Sender.Open()
+		conn.Sender.Send(100 * MSS)
+		conn.Sender.Close()
+		s.RunUntil(Second)
+		if conn.Received() != 100*MSS {
+			t.Fatalf("%s: received %d", p, conn.Received())
+		}
+	}
+}
+
+func TestDCTCPThreshold(t *testing.T) {
+	if DCTCPThreshold(Gbps) != 32<<10 {
+		t.Fatalf("K@1G = %d", DCTCPThreshold(Gbps))
+	}
+	if DCTCPThreshold(10*Gbps) <= 32<<10 {
+		t.Fatal("K@10G should exceed K@1G")
+	}
+}
+
+func TestExperimentRegistry(t *testing.T) {
+	es := Experiments()
+	if len(es) < 11 {
+		t.Fatalf("registry has %d experiments, want >= 11 (9 figures + 2 ablations)", len(es))
+	}
+	seen := map[string]bool{}
+	for _, e := range es {
+		if e.Name == "" || e.Desc == "" || e.Figure == "" || e.Run == nil {
+			t.Fatalf("incomplete registry entry: %+v", e)
+		}
+		if seen[e.Name] {
+			t.Fatalf("duplicate experiment %q", e.Name)
+		}
+		seen[e.Name] = true
+	}
+	for _, want := range []string{"fig06", "fig07", "fig08-10", "fig11", "fig12",
+		"fig13", "fig14", "fig15", "fig16", "ablation-delay", "ablation-decouple",
+		"fattree", "churn", "credit-baseline"} {
+		if !seen[want] {
+			t.Errorf("registry missing %q", want)
+		}
+	}
+}
+
+func TestRunExperimentErrors(t *testing.T) {
+	if _, err := RunExperiment("nope", Quick); err == nil {
+		t.Fatal("unknown experiment should error")
+	}
+	if _, err := RunExperiment("fig06", Scale("huge")); err == nil {
+		t.Fatal("unknown scale should error")
+	}
+}
+
+func TestRunExperimentQuick(t *testing.T) {
+	// Run the two fastest registry entries end to end.
+	out, err := RunExperiment("fig14", Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "rho0") || !strings.Contains(out, "0.90") {
+		t.Fatalf("fig14 output unexpected:\n%s", out)
+	}
+	out, err = RunExperiment("fig06", Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "measured rtt_b") {
+		t.Fatalf("fig06 output unexpected:\n%s", out)
+	}
+}
+
+func TestDeterminismAcrossRuns(t *testing.T) {
+	// Identical seeds must produce identical experiment output.
+	a, err := RunExperiment("fig06", Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunExperiment("fig06", Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("experiment output not deterministic")
+	}
+}
+
+func TestVerifyAllClaims(t *testing.T) {
+	if testing.Short() {
+		t.Skip("claims run full quick-scale experiments")
+	}
+	report, ok := VerifyAll()
+	if !ok {
+		t.Fatalf("claims failed:\n%s", report)
+	}
+}
