@@ -8,12 +8,19 @@ package tfcsim
 // `go run ./cmd/tfcsim all -scale paper` for the full-scale tables.
 
 import (
+	"context"
 	"testing"
 
 	"tfcsim/internal/exp"
 	"tfcsim/internal/netsim"
+	"tfcsim/internal/runner"
 	"tfcsim/internal/sim"
 )
+
+// benchPool runs a benchmark's protocol trials serially (benchmarks time
+// the work) with the pre-pool seed schedule, keeping reported metrics
+// comparable across the API change.
+func benchPool() *runner.Pool { return runner.Serial(1).Paired() }
 
 func BenchmarkFig06RTTB(b *testing.B) {
 	for i := 0; i < b.N; i++ {
@@ -90,7 +97,10 @@ func BenchmarkFig13FCT(b *testing.B) {
 		cfg := exp.BenchmarkConfig{
 			Duration: 150 * sim.Millisecond, QueryRate: 150, BgFlowRate: 250,
 		}
-		rs := exp.BenchmarkAll(cfg, []exp.Proto{exp.TFC, exp.TCP})
+		rs, err := exp.BenchmarkAll(context.Background(), benchPool(), cfg, []exp.Proto{exp.TFC, exp.TCP})
+		if err != nil {
+			b.Fatal(err)
+		}
 		b.ReportMetric(rs[0].QueryFCT.Mean(), "tfc_query_mean_us")
 		b.ReportMetric(rs[1].QueryFCT.Mean(), "tcp_query_mean_us")
 		b.ReportMetric(rs[0].QueryFCT.Percentile(99.9), "tfc_query_p999_us")
@@ -132,7 +142,10 @@ func BenchmarkFig16FCTLarge(b *testing.B) {
 			Racks: 6, PerRack: 6, BufBytes: 48 << 10,
 			Duration: 80 * sim.Millisecond, QueryRate: 100, BgFlowRate: 200,
 		}
-		rs := exp.BenchmarkAll(cfg, []exp.Proto{exp.TFC, exp.TCP})
+		rs, err := exp.BenchmarkAll(context.Background(), benchPool(), cfg, []exp.Proto{exp.TFC, exp.TCP})
+		if err != nil {
+			b.Fatal(err)
+		}
 		b.ReportMetric(rs[0].QueryFCT.Percentile(95), "tfc_query_p95_us")
 		b.ReportMetric(rs[1].QueryFCT.Percentile(95), "tcp_query_p95_us")
 	}

@@ -1,10 +1,12 @@
 package tfcsim
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"tfcsim/internal/exp"
+	"tfcsim/internal/runner"
 	"tfcsim/internal/sim"
 )
 
@@ -19,6 +21,11 @@ type Claim struct {
 	Check func() (string, bool)
 }
 
+// claimPool fans a claim's trials across cores while keeping every trial
+// on seed 1 (the pre-pool serial schedule), so the evidence numbers the
+// checks assert against are unchanged by parallel execution.
+func claimPool() *runner.Pool { return (&runner.Pool{BaseSeed: 1}).Paired() }
+
 // Claims returns the paper's headline claims as executable checks.
 func Claims() []Claim {
 	return []Claim{
@@ -26,9 +33,11 @@ func Claims() []Claim {
 			ID:        "zero-queueing",
 			Statement: "TFC keeps near-zero queues where TCP fills the buffer and DCTCP holds ~K (Fig 8)",
 			Check: func() (string, bool) {
-				rs := exp.QueueFairnessAll(exp.QueueFairnessConfig{
-					StartInterval: 40 * sim.Millisecond,
-				})
+				rs, err := exp.QueueFairnessAll(context.Background(), claimPool(),
+					exp.QueueFairnessConfig{StartInterval: 40 * sim.Millisecond})
+				if err != nil {
+					return err.Error(), false
+				}
 				var tfc, dctcp, tcp *exp.QueueFairnessResult
 				for _, r := range rs {
 					switch r.Proto {
@@ -97,9 +106,13 @@ func Claims() []Claim {
 			ID:        "query-fct-tails",
 			Statement: "TFC's query-flow FCT mean and tails sit far below TCP's RTO-bound tails (Fig 13)",
 			Check: func() (string, bool) {
-				rs := exp.BenchmarkAll(exp.BenchmarkConfig{
-					Duration: 150 * sim.Millisecond, QueryRate: 150, BgFlowRate: 250,
-				}, []exp.Proto{exp.TFC, exp.TCP})
+				rs, err := exp.BenchmarkAll(context.Background(), claimPool(),
+					exp.BenchmarkConfig{
+						Duration: 150 * sim.Millisecond, QueryRate: 150, BgFlowRate: 250,
+					}, []exp.Proto{exp.TFC, exp.TCP})
+				if err != nil {
+					return err.Error(), false
+				}
 				tfc, tcp := rs[0], rs[1]
 				ev := fmt.Sprintf("mean: tfc=%.0fus tcp=%.0fus; p99.9: tfc=%.0fus tcp=%.0fus",
 					tfc.QueryFCT.Mean(), tcp.QueryFCT.Mean(),

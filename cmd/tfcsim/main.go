@@ -1,20 +1,25 @@
 // Command tfcsim reproduces the evaluation of "TFC: Token Flow Control in
 // Data Center Networks" (EuroSys 2016): every figure of the paper can be
 // regenerated at quick (seconds) or paper (faithful parameters) scale.
+// Independent trials of a sweep fan out across -j workers; the output is
+// byte-identical at any parallelism.
 //
 // Usage:
 //
 //	tfcsim list
-//	tfcsim run <experiment> [-scale quick|paper] [-out FILE]
-//	tfcsim all [-scale quick|paper] [-out FILE]
+//	tfcsim run <experiment> [-scale quick|paper] [-j N] [-seed N] [-out FILE] [-csv DIR] [-v]
+//	tfcsim all [-scale quick|paper] [-j N] [-seed N] [-out FILE] [-csv DIR] [-v]
+//	tfcsim verify
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
-	"time"
+	"os/signal"
+	"runtime"
 
 	"tfcsim"
 )
@@ -24,10 +29,18 @@ func usage() {
 
 Usage:
   tfcsim list                                  list experiments
-  tfcsim run <name> [-scale quick|paper] [-out FILE] [-csv DIR]
-  tfcsim all        [-scale quick|paper] [-out FILE] [-csv DIR]
+  tfcsim run <name> [flags]                    run one experiment
+  tfcsim all        [flags]                    run every experiment
   tfcsim verify                                run the paper's claims as checks
-`)
+
+Flags for run/all:
+  -scale quick|paper   experiment scale (default quick)
+  -j N                 parallel trials (default GOMAXPROCS = %d; 1 = serial)
+  -seed N              base seed; trial seeds derive from (seed, trial index)
+  -out FILE            also write output to this file
+  -csv DIR             export raw series/CDF data as CSV (fig06, fig08-10, fig12, fig13)
+  -v                   print per-trial progress to stderr
+`, runtime.GOMAXPROCS(0))
 	os.Exit(2)
 }
 
@@ -51,8 +64,11 @@ func main() {
 	case "run", "all":
 		fs := flag.NewFlagSet(os.Args[1], flag.ExitOnError)
 		scale := fs.String("scale", "quick", "experiment scale: quick or paper")
+		jobs := fs.Int("j", 0, "parallel trials (0 = GOMAXPROCS)")
+		seed := fs.Int64("seed", 1, "base seed for per-trial seed derivation")
 		out := fs.String("out", "", "also write output to this file")
-		csv := fs.String("csv", "", "export raw series/CDF data as CSV into this directory (fig06, fig08-10)")
+		csv := fs.String("csv", "", "export raw series/CDF data as CSV into this directory")
+		verbose := fs.Bool("v", false, "print per-trial progress to stderr")
 		args := os.Args[2:]
 		var name string
 		if os.Args[1] == "run" {
@@ -65,7 +81,26 @@ func main() {
 		if err := fs.Parse(args); err != nil {
 			os.Exit(2)
 		}
-		tfcsim.SetCSVDir(*csv)
+
+		// Ctrl-C cancels cleanly: in-flight trials finish, queued ones are
+		// skipped, and the run reports the cancellation.
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+		defer stop()
+
+		opts := tfcsim.RunOptions{
+			Scale:       tfcsim.Scale(*scale),
+			Seed:        *seed,
+			Parallelism: *jobs,
+			CSVDir:      *csv,
+		}
+		if *verbose {
+			opts.Progress = func(ev tfcsim.ProgressEvent) {
+				fmt.Fprintf(os.Stderr, "  [%s] trial %d (seed %d): %d events, %.2fs\n",
+					ev.Experiment, ev.Trial.Index, ev.Trial.Seed,
+					ev.Trial.Events, ev.Trial.Wall.Seconds())
+			}
+		}
+
 		var w io.Writer = os.Stdout
 		if *out != "" {
 			f, err := os.Create(*out)
@@ -76,21 +111,31 @@ func main() {
 			defer f.Close()
 			w = io.MultiWriter(os.Stdout, f)
 		}
-		run := func(name string) {
-			start := time.Now()
-			res, err := tfcsim.RunExperiment(name, tfcsim.Scale(*scale))
+
+		j := *jobs
+		if j <= 0 {
+			j = runtime.GOMAXPROCS(0)
+		}
+		run := func(e tfcsim.Experiment) {
+			res, err := e.Run(ctx, opts)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
 			}
-			fmt.Fprintf(w, "== %s (scale=%s, %.1fs wall) ==\n%s\n",
-				name, *scale, time.Since(start).Seconds(), res)
+			fmt.Fprintf(w, "== %s (scale=%s, seed=%d, j=%d) ==\n%s", res.Name, res.Scale, res.Seed, j, res.Text)
+			fmt.Fprintf(w, "-- %d trials, %d sim events, %.2fs wall --\n\n",
+				len(res.Trials), res.Events, res.Wall.Seconds())
 		}
 		if os.Args[1] == "run" {
-			run(name)
+			e, ok := tfcsim.Find(name)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "tfcsim: unknown experiment %q (try `tfcsim list`)\n", name)
+				os.Exit(1)
+			}
+			run(e)
 		} else {
 			for _, e := range tfcsim.Experiments() {
-				run(e.Name)
+				run(e)
 			}
 		}
 	default:

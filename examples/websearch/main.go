@@ -12,10 +12,13 @@
 package main
 
 import (
+	"context"
 	"fmt"
+	"os"
 
 	"tfcsim"
 	"tfcsim/internal/exp"
+	"tfcsim/internal/runner"
 	"tfcsim/internal/sim"
 )
 
@@ -27,6 +30,13 @@ func main() {
 		QueryRate:  200,
 		BgFlowRate: 300,
 	}
-	rs := exp.BenchmarkAll(cfg, []tfcsim.Proto{tfcsim.TFC, tfcsim.DCTCP, tfcsim.TCP})
+	// The three protocol runs are independent trials: fan them across
+	// cores (results come back in protos order regardless).
+	rs, err := exp.BenchmarkAll(context.Background(), &runner.Pool{BaseSeed: 1}, cfg,
+		[]tfcsim.Proto{tfcsim.TFC, tfcsim.DCTCP, tfcsim.TCP})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 	fmt.Println(exp.FormatBenchmark("testbed benchmark", rs))
 }

@@ -1,12 +1,16 @@
 package tfcsim
 
 import (
+	"context"
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
+	"time"
 
 	"tfcsim/internal/exp"
 	"tfcsim/internal/netsim"
+	"tfcsim/internal/runner"
 	"tfcsim/internal/sim"
 )
 
@@ -21,154 +25,330 @@ const (
 	Paper Scale = "paper"
 )
 
-// csvDir, when set via SetCSVDir, makes experiments that support raw
-// data export (fig06, fig08-10) write CSV files there.
-var csvDir string
+// RunOptions parameterizes one experiment run. The zero value is valid:
+// quick scale, base seed 1, GOMAXPROCS-way parallelism, no CSV export.
+type RunOptions struct {
+	// Scale is the experiment fidelity (default Quick).
+	Scale Scale
+	// Seed is the base seed; every trial of the run derives its own seed
+	// from (Seed, trial index), so results are a pure function of
+	// (experiment, Scale, Seed) — Parallelism never changes the output.
+	// 0 means 1.
+	Seed int64
+	// Parallelism is the number of trials run concurrently; <= 0 means
+	// runtime.GOMAXPROCS(0). Use 1 for strictly serial execution.
+	Parallelism int
+	// CSVDir, if non-empty, makes experiments that support raw data
+	// export (fig06, fig08-10, fig12, fig13) write CSV files there.
+	CSVDir string
+	// Progress, if set, is called as each trial completes (serialized,
+	// in completion order). It must not block.
+	Progress func(ProgressEvent)
+}
 
-// SetCSVDir directs supporting experiments to export raw series/CDFs as
-// CSV into dir (empty disables).
-func SetCSVDir(dir string) { csvDir = dir }
+func (o RunOptions) withDefaults() (RunOptions, error) {
+	if o.Scale == "" {
+		o.Scale = Quick
+	}
+	if o.Scale != Quick && o.Scale != Paper {
+		return o, fmt.Errorf("tfcsim: unknown scale %q (want %q or %q)", o.Scale, Quick, Paper)
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Parallelism <= 0 {
+		o.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	return o, nil
+}
+
+// ProgressEvent reports one completed trial of a running experiment.
+type ProgressEvent struct {
+	Experiment string
+	Trial      runner.Metrics
+}
+
+// Result is one experiment's outcome: the rendered text the CLI prints,
+// the structured per-point data behind it, and execution metrics.
+type Result struct {
+	Name   string
+	Figure string
+	Scale  Scale
+	Seed   int64
+	// Text is the rendered tables, identical for any Parallelism.
+	Text string
+	// Data is the experiment's typed payload: []exp.IncastPoint for the
+	// incast sweeps, []*exp.QueueFairnessResult for fig08-10,
+	// []*exp.BenchmarkResult for fig13/fig16, []exp.Rho0Point for fig14,
+	// and so on per experiment.
+	Data any
+	// Trials holds per-trial metrics (wall time, events, seed), sorted
+	// by trial index. Sweeps that submit several batches repeat indexes.
+	Trials []runner.Metrics
+	// Events is the total simulator event count across all trials.
+	Events uint64
+	// Wall is the experiment's total wall-clock time.
+	Wall time.Duration
+}
+
+// runCtx is what a registry entry's run function gets to work with: the
+// resolved options plus the trial pool wired for metrics/progress.
+type runCtx struct {
+	scale  Scale
+	seed   int64
+	csvDir string
+	pool   *runner.Pool
+}
+
+func (rc *runCtx) paper() bool { return rc.scale == Paper }
+
+// subPool returns a pool like rc.pool but with an independent seed branch,
+// for experiments that submit more than one batch of trials (fig15's
+// per-block sweeps) so trial seeds do not repeat across batches.
+func (rc *runCtx) subPool(branch int) *runner.Pool {
+	p := *rc.pool
+	p.BaseSeed = runner.DeriveSeed(rc.seed, -1-branch)
+	return &p
+}
 
 // Experiment is one reproducible table/figure of the paper.
 type Experiment struct {
 	Name   string // registry key, e.g. "fig12"
 	Figure string // paper figure reference
 	Desc   string
-	Run    func(Scale) string
+	run    func(ctx context.Context, rc *runCtx) (data any, text string, err error)
+}
+
+// Run executes the experiment. Trials fan out over opts.Parallelism
+// workers; the output is byte-identical for any parallelism because every
+// trial's seed and position are derived from its index alone. Cancelling
+// ctx stops the run after in-flight trials finish.
+func (e Experiment) Run(ctx context.Context, opts RunOptions) (*Result, error) {
+	if e.run == nil {
+		return nil, fmt.Errorf("tfcsim: experiment %q has no runner", e.Name)
+	}
+	opts, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Name: e.Name, Figure: e.Figure, Scale: opts.Scale, Seed: opts.Seed}
+	pool := &runner.Pool{
+		Parallelism: opts.Parallelism,
+		BaseSeed:    opts.Seed,
+		OnDone: func(m runner.Metrics) {
+			res.Trials = append(res.Trials, m) // serialized by the pool
+			if opts.Progress != nil {
+				opts.Progress(ProgressEvent{Experiment: e.Name, Trial: m})
+			}
+		},
+	}
+	rc := &runCtx{scale: opts.Scale, seed: opts.Seed, csvDir: opts.CSVDir, pool: pool}
+	start := time.Now()
+	data, text, err := e.run(ctx, rc)
+	if err != nil {
+		return nil, fmt.Errorf("tfcsim: %s: %w", e.Name, err)
+	}
+	res.Wall = time.Since(start)
+	res.Data = data
+	res.Text = text
+	sort.SliceStable(res.Trials, func(i, j int) bool {
+		return res.Trials[i].Index < res.Trials[j].Index
+	})
+	for _, m := range res.Trials {
+		res.Events += m.Events
+	}
+	return res, nil
 }
 
 var registry = []Experiment{
 	{
 		Name: "fig06", Figure: "Fig 6",
 		Desc: "accuracy of measured rtt_b vs reference RTT (CDF summary)",
-		Run: func(sc Scale) string {
-			cfg := exp.RTTAccuracyConfig{CSVDir: csvDir}
-			if sc == Paper {
+		run: func(ctx context.Context, rc *runCtx) (any, string, error) {
+			cfg := exp.RTTAccuracyConfig{CSVDir: rc.csvDir}
+			if rc.paper() {
 				cfg.Duration = 20 * sim.Second
 				cfg.Window = sim.Second
 			}
-			return exp.RTTAccuracy(cfg).String()
+			rs, _, err := runner.Map(ctx, rc.pool, 1, func(_ int, seed int64) (*exp.RTTAccuracyResult, error) {
+				c := cfg
+				c.Seed = seed
+				return exp.RTTAccuracy(c), nil
+			})
+			if err != nil {
+				return nil, "", err
+			}
+			return rs[0], rs[0].String(), nil
 		},
 	},
 	{
 		Name: "fig07", Figure: "Fig 7",
 		Desc: "accuracy of Ne with inactive flows (n2=5 persistent + n1 on-off)",
-		Run: func(sc Scale) string {
+		run: func(ctx context.Context, rc *runCtx) (any, string, error) {
 			cfg := exp.NeAccuracyConfig{}
-			if sc == Paper {
+			if rc.paper() {
 				cfg.Interval = sim.Second
 			}
-			return exp.NeAccuracy(cfg).String()
+			rs, _, err := runner.Map(ctx, rc.pool, 1, func(_ int, seed int64) (*exp.NeAccuracyResult, error) {
+				c := cfg
+				c.Seed = seed
+				return exp.NeAccuracy(c), nil
+			})
+			if err != nil {
+				return nil, "", err
+			}
+			return rs[0], rs[0].String(), nil
 		},
 	},
 	{
 		Name: "fig08-10", Figure: "Figs 8, 9, 10",
 		Desc: "queue length, goodput/fairness and convergence, 4 staggered flows -> H3, TFC vs DCTCP vs TCP",
-		Run: func(sc Scale) string {
-			cfg := exp.QueueFairnessConfig{CSVDir: csvDir}
-			if sc == Paper {
+		run: func(ctx context.Context, rc *runCtx) (any, string, error) {
+			cfg := exp.QueueFairnessConfig{CSVDir: rc.csvDir}
+			if rc.paper() {
 				cfg.StartInterval = 3 * sim.Second
 				cfg.Tail = 3 * sim.Second
 				cfg.GoodputSample = 20 * sim.Millisecond
 			}
-			return exp.FormatQueueFairness(exp.QueueFairnessAll(cfg))
+			rs, err := exp.QueueFairnessAll(ctx, rc.pool, cfg)
+			if err != nil {
+				return nil, "", err
+			}
+			return rs, exp.FormatQueueFairness(rs), nil
 		},
 	},
 	{
 		Name: "fig11", Figure: "Fig 11",
 		Desc: "work conserving on the Fig 5 multi-bottleneck topology (+ A1 ablation)",
-		Run: func(sc Scale) string {
+		run: func(ctx context.Context, rc *runCtx) (any, string, error) {
 			cfg := exp.WorkConservingConfig{}
-			if sc == Paper {
+			if rc.paper() {
 				cfg.Duration = 20 * sim.Second
 			}
-			full := exp.WorkConserving(cfg)
-			cfg.DisableAdjust = true
-			return exp.FormatWorkConserving(full, exp.WorkConserving(cfg))
+			// The ablation is a paired comparison: both variants run with
+			// the same seed so only DisableAdjust differs.
+			variant := func(disable bool) func(int64) (*exp.WorkConservingResult, error) {
+				return func(seed int64) (*exp.WorkConservingResult, error) {
+					c := cfg
+					c.Seed = seed
+					c.DisableAdjust = disable
+					return exp.WorkConserving(c), nil
+				}
+			}
+			rs, _, err := runner.Run(ctx, rc.pool.Paired(),
+				[]func(int64) (*exp.WorkConservingResult, error){variant(false), variant(true)})
+			if err != nil {
+				return nil, "", err
+			}
+			return rs, exp.FormatWorkConserving(rs[0], rs[1]), nil
 		},
 	},
 	{
 		Name: "fig12", Figure: "Fig 12",
 		Desc: "testbed incast: goodput and queue vs number of senders (1G, 256KB blocks)",
-		Run: func(sc Scale) string {
+		run: func(ctx context.Context, rc *runCtx) (any, string, error) {
 			cfg := exp.IncastConfig{}
 			senders := []int{10, 40, 70, 100}
 			protos := []exp.Proto{exp.TFC, exp.DCTCP, exp.TCP}
-			if sc == Paper {
+			if rc.paper() {
 				cfg.Rounds = 100
 				senders = []int{5, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100}
 			} else {
 				cfg.Rounds = 4
 			}
-			pts := exp.IncastSweep(cfg, senders, protos)
-			if csvDir != "" {
-				_ = exp.SaveIncastCSV(csvDir, "fig12_incast.csv", pts)
+			pts, err := exp.IncastSweep(ctx, rc.pool, cfg, senders, protos)
+			if err != nil {
+				return nil, "", err
 			}
-			return exp.FormatIncast("Fig 12 — testbed incast (1 Gbps, 256 KB blocks)", pts)
+			if rc.csvDir != "" {
+				if err := exp.SaveIncastCSV(rc.csvDir, "fig12_incast.csv", pts); err != nil {
+					return nil, "", err
+				}
+			}
+			return pts, exp.FormatIncast("Fig 12 — testbed incast (1 Gbps, 256 KB blocks)", pts), nil
 		},
 	},
 	{
 		Name: "fig13", Figure: "Fig 13",
 		Desc: "testbed web-search benchmark: query and background FCT, TFC vs DCTCP vs TCP",
-		Run: func(sc Scale) string {
+		run: func(ctx context.Context, rc *runCtx) (any, string, error) {
 			cfg := exp.BenchmarkConfig{}
-			if sc == Paper {
+			if rc.paper() {
 				cfg.Duration = 2 * sim.Second
 				cfg.QueryRate = 300
 				cfg.BgFlowRate = 500
 			}
-			rs := exp.BenchmarkAll(cfg, []exp.Proto{exp.TFC, exp.DCTCP, exp.TCP})
-			if csvDir != "" {
-				_ = exp.SaveBenchmarkCSV(csvDir, rs)
+			rs, err := exp.BenchmarkAll(ctx, rc.pool, cfg, []exp.Proto{exp.TFC, exp.DCTCP, exp.TCP})
+			if err != nil {
+				return nil, "", err
 			}
-			return exp.FormatBenchmark("Fig 13 — testbed benchmark", rs)
+			if rc.csvDir != "" {
+				if err := exp.SaveBenchmarkCSV(rc.csvDir, rs); err != nil {
+					return nil, "", err
+				}
+			}
+			return rs, exp.FormatBenchmark("Fig 13 — testbed benchmark", rs), nil
 		},
 	},
 	{
 		Name: "fig14", Figure: "Fig 14",
 		Desc: "impact of rho0: goodput and queue for rho0 in 0.90..1.00",
-		Run: func(sc Scale) string {
-			cfg := exp.Rho0SweepConfig{}
-			if sc == Paper {
-				cfg.Rho0s = []float64{0.90, 0.92, 0.94, 0.96, 0.98, 1.00}
+		run: func(ctx context.Context, rc *runCtx) (any, string, error) {
+			cfg := exp.Rho0SweepConfig{Rho0s: []float64{0.90, 0.92, 0.94, 0.96, 0.98, 1.00}}
+			if rc.paper() {
 				cfg.Duration = 2 * sim.Second
 			}
-			return exp.FormatRho0Sweep(exp.Rho0Sweep(cfg))
+			// One trial per rho0 point.
+			pts, _, err := runner.Map(ctx, rc.pool, len(cfg.Rho0s), func(i int, seed int64) (exp.Rho0Point, error) {
+				c := cfg
+				c.Rho0s = cfg.Rho0s[i : i+1]
+				c.Seed = seed
+				return exp.Rho0Sweep(c)[0], nil
+			})
+			if err != nil {
+				return nil, "", err
+			}
+			return pts, exp.FormatRho0Sweep(pts), nil
 		},
 	},
 	{
 		Name: "fig15", Figure: "Fig 15",
 		Desc: "large-scale incast (10G): throughput and max timeouts/block vs senders, TFC vs TCP",
-		Run: func(sc Scale) string {
+		run: func(ctx context.Context, rc *runCtx) (any, string, error) {
 			var b strings.Builder
 			blocks := []int64{64 << 10, 256 << 10}
 			senders := []int{100, 300}
 			rounds := 3
-			if sc == Paper {
+			if rc.paper() {
 				blocks = []int64{64 << 10, 128 << 10, 256 << 10}
 				senders = []int{50, 100, 200, 300, 400}
 				rounds = 20
 			}
-			for _, blk := range blocks {
+			var all []exp.IncastPoint
+			for bi, blk := range blocks {
 				cfg := exp.IncastConfig{
 					Rate: 10 * netsim.Gbps, BufBytes: 512 << 10,
 					BlockBytes: blk, Rounds: rounds,
 				}
-				pts := exp.IncastSweep(cfg, senders, []exp.Proto{exp.TFC, exp.TCP})
+				pts, err := exp.IncastSweep(ctx, rc.subPool(bi), cfg, senders, []exp.Proto{exp.TFC, exp.TCP})
+				if err != nil {
+					return nil, "", err
+				}
+				all = append(all, pts...)
 				b.WriteString(exp.FormatIncast(
 					fmt.Sprintf("Fig 15 — large-scale incast (%dKB blocks)", blk>>10), pts))
 				b.WriteString("\n")
 			}
-			return b.String()
+			return all, b.String(), nil
 		},
 	},
 	{
 		Name: "fig16", Figure: "Fig 16",
 		Desc: "large-scale web-search benchmark (leaf-spine): query and background FCT",
-		Run: func(sc Scale) string {
+		run: func(ctx context.Context, rc *runCtx) (any, string, error) {
 			cfg := exp.BenchmarkConfig{BufBytes: 512 << 10}
 			protos := []exp.Proto{exp.TFC, exp.TCP}
-			if sc == Paper {
+			if rc.paper() {
 				cfg.Racks, cfg.PerRack = 18, 20
 				cfg.Duration = 500 * sim.Millisecond
 				cfg.QueryRate = 40
@@ -180,97 +360,123 @@ var registry = []Experiment{
 				cfg.QueryRate = 100
 				cfg.BgFlowRate = 300
 			}
-			return exp.FormatBenchmark("Fig 16 — large-scale benchmark",
-				exp.BenchmarkAll(cfg, protos))
+			rs, err := exp.BenchmarkAll(ctx, rc.pool, cfg, protos)
+			if err != nil {
+				return nil, "", err
+			}
+			return rs, exp.FormatBenchmark("Fig 16 — large-scale benchmark", rs), nil
 		},
 	},
 	{
 		Name: "fattree", Figure: "extension (§4.3 multi-rooted trees)",
 		Desc: "k-ary fat-tree cross-pod permutation over ECMP: TFC vs TCP fabric queues",
-		Run: func(sc Scale) string {
-			var rs []exp.PermutationResult
-			for _, p := range []exp.Proto{exp.TFC, exp.TCP} {
-				cfg := exp.PermutationConfig{}
-				if sc == Paper {
-					cfg.K = 8
-					cfg.Duration = 300 * sim.Millisecond
-				} else {
-					cfg.Duration = 150 * sim.Millisecond
-				}
-				cfg.Proto = p
-				rs = append(rs, exp.Permutation(cfg))
+		run: func(ctx context.Context, rc *runCtx) (any, string, error) {
+			cfg := exp.PermutationConfig{}
+			if rc.paper() {
+				cfg.K = 8
+				cfg.Duration = 300 * sim.Millisecond
+			} else {
+				cfg.Duration = 150 * sim.Millisecond
 			}
-			return exp.FormatPermutation(rs)
+			rs, err := exp.PermutationAll(ctx, rc.pool, cfg, []exp.Proto{exp.TFC, exp.TCP})
+			if err != nil {
+				return nil, "", err
+			}
+			return rs, exp.FormatPermutation(rs), nil
 		},
 	},
 	{
 		Name: "churn", Figure: "extension (§2 on-off flows)",
 		Desc: "Storm-style on-off flows: silent-share reclamation and burst-free resume",
-		Run: func(sc Scale) string {
-			var rs []exp.ChurnResult
-			for _, p := range []exp.Proto{exp.TFC, exp.DCTCP, exp.TCP} {
-				cfg := exp.ChurnConfig{}
-				if sc == Paper {
-					cfg.Duration = 2 * sim.Second
-				}
-				cfg.Proto = p
-				rs = append(rs, exp.Churn(cfg))
+		run: func(ctx context.Context, rc *runCtx) (any, string, error) {
+			cfg := exp.ChurnConfig{}
+			if rc.paper() {
+				cfg.Duration = 2 * sim.Second
 			}
-			return exp.FormatChurn(rs)
+			rs, err := exp.ChurnAll(ctx, rc.pool, cfg, []exp.Proto{exp.TFC, exp.DCTCP, exp.TCP})
+			if err != nil {
+				return nil, "", err
+			}
+			return rs, exp.FormatChurn(rs), nil
 		},
 	},
 	{
 		Name: "credit-baseline", Figure: "extension (§7 credit-based flow control)",
 		Desc: "TFC vs an ExpressPass-style receiver-driven credit transport on incast",
-		Run: func(sc Scale) string {
+		run: func(ctx context.Context, rc *runCtx) (any, string, error) {
 			cfg := exp.IncastConfig{BufBytes: 64 << 10}
 			senders := []int{20, 60}
-			if sc == Paper {
+			if rc.paper() {
 				cfg.Rounds = 50
 				senders = []int{10, 40, 70, 100}
 			} else {
 				cfg.Rounds = 4
 			}
-			pts := exp.IncastSweep(cfg, senders, []exp.Proto{exp.TFC, exp.CREDIT})
-			return exp.FormatIncast(
+			pts, err := exp.IncastSweep(ctx, rc.pool, cfg, senders, []exp.Proto{exp.TFC, exp.CREDIT})
+			if err != nil {
+				return nil, "", err
+			}
+			text := exp.FormatIncast(
 				"Credit baseline — incast, 64KB buffer: TFC (switch windows) vs receiver-driven credits", pts) +
 				"both credit-derived designs complete fan-in without data loss; they differ in control-plane cost (per-packet credits vs per-round window stamps)\n"
+			return pts, text, nil
 		},
 	},
 	{
 		Name: "ablation-delay", Figure: "design §4.6 (A2)",
 		Desc: "incast with the ACK delay function disabled: drops appear at high fan-in",
-		Run: func(sc Scale) string {
+		run: func(ctx context.Context, rc *runCtx) (any, string, error) {
 			cfg := exp.IncastConfig{Rounds: 3, BufBytes: 64 << 10}
-			if sc == Paper {
+			if rc.paper() {
 				cfg.Rounds = 20
 			}
 			cfg.Proto = exp.TFC
 			cfg.Senders = 80
-			full := exp.Incast(cfg)
-			cfg.TFC.DisableDelay = true
-			ablated := exp.Incast(cfg)
-			return exp.FormatIncast("Ablation A2 — delay function off (80 senders, 64KB buffer)",
-				[]exp.IncastPoint{full, ablated}) +
+			// Paired comparison: same seed, only DisableDelay differs.
+			variant := func(disable bool) func(int64) (exp.IncastPoint, error) {
+				return func(seed int64) (exp.IncastPoint, error) {
+					c := cfg
+					c.Seed = seed
+					c.TFC.DisableDelay = disable
+					return exp.Incast(c), nil
+				}
+			}
+			pts, _, err := runner.Run(ctx, rc.pool.Paired(),
+				[]func(int64) (exp.IncastPoint, error){variant(false), variant(true)})
+			if err != nil {
+				return nil, "", err
+			}
+			text := exp.FormatIncast("Ablation A2 — delay function off (80 senders, 64KB buffer)", pts) +
 				"row 1 = full TFC, row 2 = DisableDelay\n"
+			return pts, text, nil
 		},
 	},
 	{
 		Name: "ablation-decouple", Figure: "design §4.4 (A3)",
 		Desc: "rtt_b/rtt_m coupling: tokens computed from rtt_m inflate queues",
-		Run: func(sc Scale) string {
-			run := func(disable bool) *exp.QueueFairnessResult {
-				cfg := exp.QueueFairnessConfig{}
-				if sc == Paper {
-					cfg.StartInterval = sim.Second
-				}
-				cfg.Proto = exp.TFC
-				cfg.TFC.DisableDecouple = disable
-				return exp.QueueFairness(cfg)
+		run: func(ctx context.Context, rc *runCtx) (any, string, error) {
+			cfg := exp.QueueFairnessConfig{}
+			if rc.paper() {
+				cfg.StartInterval = sim.Second
 			}
-			full, coupled := run(false), run(true)
-			t := exp.FormatQueueFairness([]*exp.QueueFairnessResult{full, coupled})
-			return "Ablation A3 — row 1 = decoupled (full TFC), row 2 = coupled (tokens from rtt_m)\n" + t
+			cfg.Proto = exp.TFC
+			// Paired comparison: same seed, only DisableDecouple differs.
+			variant := func(disable bool) func(int64) (*exp.QueueFairnessResult, error) {
+				return func(seed int64) (*exp.QueueFairnessResult, error) {
+					c := cfg
+					c.Seed = seed
+					c.TFC.DisableDecouple = disable
+					return exp.QueueFairness(c), nil
+				}
+			}
+			rs, _, err := runner.Run(ctx, rc.pool.Paired(),
+				[]func(int64) (*exp.QueueFairnessResult, error){variant(false), variant(true)})
+			if err != nil {
+				return nil, "", err
+			}
+			text := "Ablation A3 — row 1 = decoupled (full TFC), row 2 = coupled (tokens from rtt_m)\n" +
+				exp.FormatQueueFairness(rs)
+			return rs, text, nil
 		},
 	},
 }
@@ -283,16 +489,47 @@ func Experiments() []Experiment {
 	return out
 }
 
-// RunExperiment runs one experiment by name at the given scale and returns
-// its rendered result.
-func RunExperiment(name string, scale Scale) (string, error) {
-	if scale != Quick && scale != Paper {
-		return "", fmt.Errorf("tfcsim: unknown scale %q (want %q or %q)", scale, Quick, Paper)
-	}
+// Find returns the experiment registered under name.
+func Find(name string) (Experiment, bool) {
 	for _, e := range registry {
 		if e.Name == name {
-			return e.Run(scale), nil
+			return e, true
 		}
 	}
-	return "", fmt.Errorf("tfcsim: unknown experiment %q", name)
+	return Experiment{}, false
+}
+
+// RunAll runs every registered experiment (in Experiments() order) with
+// the same options and returns their results. On error — including ctx
+// cancellation — it returns the results completed so far along with the
+// error.
+func RunAll(ctx context.Context, opts RunOptions) ([]*Result, error) {
+	var out []*Result
+	for _, e := range Experiments() {
+		r, err := e.Run(ctx, opts)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// RunExperiment runs one experiment by name at the given scale and returns
+// its rendered result.
+//
+// Deprecated: use Find plus Experiment.Run (or RunAll), which add context
+// cancellation, parallel trial execution, seed control, per-trial metrics
+// and structured result data. RunExperiment remains for one-line use and
+// runs with default RunOptions at the requested scale.
+func RunExperiment(name string, scale Scale) (string, error) {
+	e, ok := Find(name)
+	if !ok {
+		return "", fmt.Errorf("tfcsim: unknown experiment %q", name)
+	}
+	r, err := e.Run(context.Background(), RunOptions{Scale: scale})
+	if err != nil {
+		return "", err
+	}
+	return r.Text, nil
 }

@@ -1,9 +1,11 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
+	"tfcsim/internal/runner"
 	"tfcsim/internal/sim"
 	"tfcsim/internal/stats"
 )
@@ -32,7 +34,11 @@ type ChurnResult struct {
 	MaxQ        int
 	Drops       int64
 	Timeouts    int64
+	Events      uint64 // simulator events executed by this trial
 }
+
+// SimEvents reports the trial's event count to the runner pool.
+func (r ChurnResult) SimEvents() uint64 { return r.Events }
 
 // Churn runs the on-off workload for one protocol on the star topology.
 func Churn(cfg ChurnConfig) ChurnResult {
@@ -134,7 +140,24 @@ func Churn(cfg ChurnConfig) ChurnResult {
 	res.MaxQ = bott.MaxQueue
 	res.Drops = bott.Drops
 	res.Timeouts = timeouts
+	res.Events = e.Sim.Executed()
 	return res
+}
+
+// ChurnAll runs the on-off workload for each protocol as independent
+// pool trials; results come back in protos order. A nil pool runs
+// serially with base seed cfg.Seed.
+func ChurnAll(ctx context.Context, p *runner.Pool, cfg ChurnConfig, protos []Proto) ([]ChurnResult, error) {
+	if p == nil {
+		p = runner.Serial(cfg.Seed)
+	}
+	rs, _, err := runner.Map(ctx, p, len(protos), func(i int, seed int64) (ChurnResult, error) {
+		c := cfg
+		c.Proto = protos[i]
+		c.Seed = seed
+		return Churn(c), nil
+	})
+	return rs, err
 }
 
 // FormatChurn renders the comparison table.

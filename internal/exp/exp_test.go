@@ -1,11 +1,18 @@
 package exp
 
 import (
+	"context"
 	"testing"
 
 	"tfcsim/internal/netsim"
+	"tfcsim/internal/runner"
 	"tfcsim/internal/sim"
 )
+
+// testPool fans a test's trials across cores on the pre-pool seed
+// schedule (every trial seed 1), so the physical shapes asserted below
+// see the same inputs as the original serial harness.
+func testPool() *runner.Pool { return (&runner.Pool{BaseSeed: 1}).Paired() }
 
 func TestFig06RTTAccuracy(t *testing.T) {
 	r := RTTAccuracy(RTTAccuracyConfig{
@@ -47,10 +54,13 @@ func TestFig07NeAccuracy(t *testing.T) {
 }
 
 func TestFig08to10QueueFairness(t *testing.T) {
-	rs := QueueFairnessAll(QueueFairnessConfig{
+	rs, err := QueueFairnessAll(context.Background(), testPool(), QueueFairnessConfig{
 		StartInterval: 40 * sim.Millisecond,
 		Tail:          80 * sim.Millisecond,
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	byProto := map[Proto]*QueueFairnessResult{}
 	for _, r := range rs {
 		byProto[r.Proto] = r
@@ -112,9 +122,12 @@ func TestFig11WorkConserving(t *testing.T) {
 }
 
 func TestFig12IncastTestbed(t *testing.T) {
-	pts := IncastSweep(IncastConfig{
+	pts, err := IncastSweep(context.Background(), testPool(), IncastConfig{
 		Rounds: 4, MaxDuration: 20 * sim.Second,
 	}, []int{10, 60}, []Proto{TFC, TCP})
+	if err != nil {
+		t.Fatal(err)
+	}
 	get := func(p Proto, n int) IncastPoint {
 		for _, pt := range pts {
 			if pt.Proto == p && pt.Senders == n {
@@ -174,12 +187,15 @@ func TestFig14Rho0(t *testing.T) {
 }
 
 func TestFig13BenchmarkTestbed(t *testing.T) {
-	rs := BenchmarkAll(BenchmarkConfig{
+	rs, err := BenchmarkAll(context.Background(), testPool(), BenchmarkConfig{
 		Duration:    200 * sim.Millisecond,
 		MaxDuration: 10 * sim.Second,
 		QueryRate:   150,
 		BgFlowRate:  250,
 	}, []Proto{TFC, TCP})
+	if err != nil {
+		t.Fatal(err)
+	}
 	tfc, tcp := rs[0], rs[1]
 	if tfc.QueryFCT.N() < 50 || tcp.QueryFCT.N() < 50 {
 		t.Fatalf("too few query flows: %d / %d", tfc.QueryFCT.N(), tcp.QueryFCT.N())
@@ -198,10 +214,13 @@ func TestFig13BenchmarkTestbed(t *testing.T) {
 }
 
 func TestFig15IncastLargeScale(t *testing.T) {
-	pts := IncastSweep(IncastConfig{
+	pts, err := IncastSweep(context.Background(), testPool(), IncastConfig{
 		Rate: 10 * netsim.Gbps, BufBytes: 512 << 10,
 		BlockBytes: 64 << 10, Rounds: 3, MaxDuration: 20 * sim.Second,
 	}, []int{100}, []Proto{TFC, TCP})
+	if err != nil {
+		t.Fatal(err)
+	}
 	tfc, tcp := pts[0], pts[1]
 	// Fig 15 shape: TFC ~90% utilization, ~zero timeouts at any fan-in;
 	// TCP collapses with timeouts.
@@ -225,7 +244,7 @@ func TestFig16BenchmarkLargeScale(t *testing.T) {
 	// scaled to keep fan-in bytes / buffer comparable to the paper's
 	// 359*2KB vs 512KB, so TCP still experiences the incast contention
 	// that the figure is about.
-	rs := BenchmarkAll(BenchmarkConfig{
+	rs, err := BenchmarkAll(context.Background(), testPool(), BenchmarkConfig{
 		Racks: 6, PerRack: 6, BufBytes: 48 << 10,
 		Duration:    100 * sim.Millisecond,
 		MaxDuration: 5 * sim.Second,
@@ -233,6 +252,9 @@ func TestFig16BenchmarkLargeScale(t *testing.T) {
 		QueryFanIn:  0, // all-to-one fan-in
 		BgFlowRate:  200,
 	}, []Proto{TFC, TCP})
+	if err != nil {
+		t.Fatal(err)
+	}
 	tfc, tcp := rs[0], rs[1]
 	if tfc.QueryFCT.N() == 0 {
 		t.Fatal("no query flows completed")

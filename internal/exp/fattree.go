@@ -1,10 +1,12 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"tfcsim/internal/netsim"
+	"tfcsim/internal/runner"
 	"tfcsim/internal/sim"
 	"tfcsim/internal/stats"
 )
@@ -94,8 +96,12 @@ type PermutationResult struct {
 	MinFlow    float64 // slowest flow (bits/s)
 	MaxFlow    float64
 	Drops      int64
-	MaxQueue   int // worst port queue in the fabric
+	MaxQueue   int    // worst port queue in the fabric
+	Events     uint64 // simulator events executed by this trial
 }
+
+// SimEvents reports the trial's event count to the runner pool.
+func (r PermutationResult) SimEvents() uint64 { return r.Events }
 
 // Permutation runs one protocol over the fat-tree permutation workload.
 func Permutation(cfg PermutationConfig) PermutationResult {
@@ -152,7 +158,24 @@ func Permutation(cfg PermutationConfig) PermutationResult {
 			}
 		}
 	}
+	res.Events = ft.Sim.Executed()
 	return res
+}
+
+// PermutationAll runs the permutation workload for each protocol as
+// independent pool trials; results come back in protos order. A nil pool
+// runs serially with base seed cfg.Seed.
+func PermutationAll(ctx context.Context, p *runner.Pool, cfg PermutationConfig, protos []Proto) ([]PermutationResult, error) {
+	if p == nil {
+		p = runner.Serial(cfg.Seed)
+	}
+	rs, _, err := runner.Map(ctx, p, len(protos), func(i int, seed int64) (PermutationResult, error) {
+		c := cfg
+		c.Proto = protos[i]
+		c.Seed = seed
+		return Permutation(c), nil
+	})
+	return rs, err
 }
 
 // FormatPermutation renders the fat-tree permutation comparison.

@@ -33,7 +33,11 @@ type RTTAccuracyConfig struct {
 type RTTAccuracyResult struct {
 	MeasuredRTTB stats.Sample
 	Reference    stats.Sample
+	Events       uint64 // simulator events across both runs
 }
+
+// SimEvents reports the trial's event count to the runner pool.
+func (r *RTTAccuracyResult) SimEvents() uint64 { return r.Events }
 
 // RTTAccuracy runs the Fig 6 experiment.
 func RTTAccuracy(cfg RTTAccuracyConfig) *RTTAccuracyResult {
@@ -65,6 +69,7 @@ func RTTAccuracy(cfg RTTAccuracyConfig) *RTTAccuracyResult {
 			conn.Sender.Send(netsim.MSS)
 		})
 		e.Sim.RunUntil(cfg.Duration / 2)
+		res.Events += e.Sim.Executed()
 	}
 
 	// Loaded run: 2+2 flows H1,H2 -> H3; per-window min of rtt_m at the
@@ -96,6 +101,7 @@ func RTTAccuracy(cfg RTTAccuracyConfig) *RTTAccuracyResult {
 		// Discard the first window (convergence transient).
 		e.Sim.After(cfg.Window, func() { windowMin = 0; e.Sim.After(cfg.Window, tick) })
 		e.Sim.RunUntil(cfg.Duration)
+		res.Events += e.Sim.Executed()
 	}
 	if cfg.CSVDir != "" {
 		_ = trace.SaveTo(cfg.CSVDir, "rttb_cdf.csv", func(w io.Writer) error {
@@ -153,12 +159,17 @@ type NePoint struct {
 // NeAccuracyResult is the Fig 7 output.
 type NeAccuracyResult struct {
 	Points []NePoint
+	// Events is the simulator event count of the run.
+	Events uint64
 	// RTTRatio is the measured cross-rack/rack-local RTT ratio used for
 	// the expected value (the paper's was ~1.5 on their testbed).
 	RTTRatio float64
 	// MeanAbsErr is the mean |measured-expected| over all points.
 	MeanAbsErr float64
 }
+
+// SimEvents reports the trial's event count to the runner pool.
+func (r *NeAccuracyResult) SimEvents() uint64 { return r.Events }
 
 // NeAccuracy runs the Fig 7 experiment.
 func NeAccuracy(cfg NeAccuracyConfig) *NeAccuracyResult {
@@ -270,6 +281,7 @@ func NeAccuracy(cfg NeAccuracyConfig) *NeAccuracyResult {
 	}
 	e.Sim.After(cfg.Interval, tick)
 	e.Sim.RunUntil(end + cfg.Interval)
+	res.Events = e.Sim.Executed()
 	if rn > 0 {
 		res.RTTRatio = rsum / float64(rn)
 	}

@@ -1,11 +1,13 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
 
 	"tfcsim/internal/netsim"
+	"tfcsim/internal/runner"
 	"tfcsim/internal/sim"
 	"tfcsim/internal/stats"
 	"tfcsim/internal/trace"
@@ -58,8 +60,12 @@ type QueueFairnessResult struct {
 	AvgQueue    float64            // bytes, steady state
 	Drops       int64
 	ConvergeIn  sim.Time // time for flow 3 to reach 80% of fair share
+	Events      uint64   // simulator events executed by this trial
 	convergedAt sim.Time
 }
+
+// SimEvents reports the trial's event count to the runner pool.
+func (r *QueueFairnessResult) SimEvents() uint64 { return r.Events }
 
 // QueueFairness runs the Figs 8–10 scenario for one protocol.
 func QueueFairness(cfg QueueFairnessConfig) *QueueFairnessResult {
@@ -143,6 +149,7 @@ func QueueFairness(cfg QueueFairnessConfig) *QueueFairnessResult {
 	if res.convergedAt == 0 {
 		res.ConvergeIn = -1 // never converged within the window
 	}
+	res.Events = e.Sim.Executed()
 	if cfg.CSVDir != "" {
 		name := string(cfg.Proto)
 		_ = trace.SaveTo(cfg.CSVDir, "queue_"+name+".csv", func(w io.Writer) error {
@@ -173,15 +180,20 @@ func jain(xs []float64) float64 {
 	return sum * sum / (float64(len(xs)) * sq)
 }
 
-// QueueFairnessAll runs the scenario for all three protocols.
-func QueueFairnessAll(cfg QueueFairnessConfig) []*QueueFairnessResult {
-	var out []*QueueFairnessResult
-	for _, p := range AllProtos {
-		c := cfg
-		c.Proto = p
-		out = append(out, QueueFairness(c))
+// QueueFairnessAll runs the scenario for all three protocols as
+// independent pool trials; results come back in AllProtos order. A nil
+// pool runs serially with base seed cfg.Seed.
+func QueueFairnessAll(ctx context.Context, p *runner.Pool, cfg QueueFairnessConfig) ([]*QueueFairnessResult, error) {
+	if p == nil {
+		p = runner.Serial(cfg.Seed)
 	}
-	return out
+	rs, _, err := runner.Map(ctx, p, len(AllProtos), func(i int, seed int64) (*QueueFairnessResult, error) {
+		c := cfg
+		c.Proto = AllProtos[i]
+		c.Seed = seed
+		return QueueFairness(c), nil
+	})
+	return rs, err
 }
 
 // FormatQueueFairness renders Figs 8, 9 and 10 as one table.

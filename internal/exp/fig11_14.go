@@ -33,7 +33,11 @@ type WorkConservingResult struct {
 	UplinkAvgQ      float64
 	DownlinkAvgQ    float64
 	Drops           int64
+	Events          uint64 // simulator events executed by this trial
 }
+
+// SimEvents reports the trial's event count to the runner pool.
+func (r *WorkConservingResult) SimEvents() uint64 { return r.Events }
 
 // WorkConserving runs the Fig 11 experiment (TFC).
 func WorkConserving(cfg WorkConservingConfig) *WorkConservingResult {
@@ -79,6 +83,7 @@ func WorkConserving(cfg WorkConservingConfig) *WorkConservingResult {
 	res.UplinkAvgQ = upQ.Series.After(cfg.Warmup).MeanV()
 	res.DownlinkAvgQ = dnQ.Series.After(cfg.Warmup).MeanV()
 	res.Drops = e.Uplink.Drops + e.Downlink.Drops
+	res.Events = e.Sim.Executed()
 	return res
 }
 
@@ -121,7 +126,11 @@ type Rho0Point struct {
 	AvgQ    float64 // bytes
 	MaxQ    int
 	Drops   int64
+	Events  uint64 // simulator events executed for this point
 }
+
+// SimEvents reports the point's event count to the runner pool.
+func (p Rho0Point) SimEvents() uint64 { return p.Events }
 
 // Rho0Sweep runs Fig 14.
 func Rho0Sweep(cfg Rho0SweepConfig) []Rho0Point {
@@ -172,6 +181,7 @@ func Rho0Sweep(cfg Rho0SweepConfig) []Rho0Point {
 			AvgQ:    qs.Series.After(cfg.Warmup).MeanV(),
 			MaxQ:    bott.MaxQueue,
 			Drops:   bott.Drops,
+			Events:  e.Sim.Executed(),
 		})
 	}
 	return out

@@ -1,10 +1,12 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"io"
 
 	"tfcsim/internal/netsim"
+	"tfcsim/internal/runner"
 	"tfcsim/internal/sim"
 	"tfcsim/internal/stats"
 	"tfcsim/internal/trace"
@@ -62,7 +64,11 @@ type IncastPoint struct {
 	MaxTOBlock float64 // max timeouts per block over flows (Fig 15b)
 	Rounds     int
 	Elapsed    sim.Time
+	Events     uint64 // simulator events executed by this trial
 }
+
+// SimEvents reports the trial's event count to the runner pool.
+func (p IncastPoint) SimEvents() uint64 { return p.Events }
 
 // Incast runs one incast configuration.
 func Incast(cfg IncastConfig) IncastPoint {
@@ -98,21 +104,37 @@ func Incast(cfg IncastConfig) IncastPoint {
 		MaxTOBlock: in.MaxTimeoutsPerBlock(),
 		Rounds:     in.RoundsDone,
 		Elapsed:    elapsed,
+		Events:     e.Sim.Executed(),
 	}
 }
 
-// IncastSweep runs Incast across sender counts and protocols.
-func IncastSweep(cfg IncastConfig, sendersList []int, protos []Proto) []IncastPoint {
-	var out []IncastPoint
-	for _, p := range protos {
+// IncastSweep runs Incast across sender counts and protocols, fanning the
+// (proto, senders) grid as independent trials over p's workers. Each trial
+// runs with its pool-derived seed; results come back in grid order
+// (protos outer, senders inner), so output is identical at any
+// parallelism. A nil pool runs serially with base seed cfg.Seed.
+func IncastSweep(ctx context.Context, p *runner.Pool, cfg IncastConfig, sendersList []int, protos []Proto) ([]IncastPoint, error) {
+	if p == nil {
+		p = runner.Serial(cfg.Seed)
+	}
+	type cell struct {
+		proto Proto
+		n     int
+	}
+	var grid []cell
+	for _, pr := range protos {
 		for _, n := range sendersList {
-			c := cfg
-			c.Proto = p
-			c.Senders = n
-			out = append(out, Incast(c))
+			grid = append(grid, cell{pr, n})
 		}
 	}
-	return out
+	pts, _, err := runner.Map(ctx, p, len(grid), func(i int, seed int64) (IncastPoint, error) {
+		c := cfg
+		c.Proto = grid[i].proto
+		c.Senders = grid[i].n
+		c.Seed = seed
+		return Incast(c), nil
+	})
+	return pts, err
 }
 
 // SaveIncastCSV writes an incast sweep as CSV into dir/name.

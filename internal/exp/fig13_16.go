@@ -1,10 +1,12 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
 
+	"tfcsim/internal/runner"
 	"tfcsim/internal/sim"
 	"tfcsim/internal/stats"
 	"tfcsim/internal/trace"
@@ -58,7 +60,11 @@ type BenchmarkResult struct {
 	// Unfinished counts flows that never completed within MaxDuration.
 	Unfinished int
 	Flows      int
+	Events     uint64 // simulator events executed by this trial
 }
+
+// SimEvents reports the trial's event count to the runner pool.
+func (r *BenchmarkResult) SimEvents() uint64 { return r.Events }
 
 // Benchmark runs the workload for one protocol.
 func Benchmark(cfg BenchmarkConfig) *BenchmarkResult {
@@ -83,7 +89,7 @@ func Benchmark(cfg BenchmarkConfig) *BenchmarkResult {
 			break
 		}
 	}
-	res := &BenchmarkResult{Proto: cfg.Proto, Flows: len(b.Flows)}
+	res := &BenchmarkResult{Proto: cfg.Proto, Flows: len(b.Flows), Events: e.Sim.Executed()}
 	for _, f := range b.Flows {
 		if !f.Done {
 			res.Unfinished++
@@ -112,15 +118,20 @@ func SaveBenchmarkCSV(dir string, rs []*BenchmarkResult) error {
 	return nil
 }
 
-// BenchmarkAll runs the workload for the given protocols.
-func BenchmarkAll(cfg BenchmarkConfig, protos []Proto) []*BenchmarkResult {
-	var out []*BenchmarkResult
-	for _, p := range protos {
-		c := cfg
-		c.Proto = p
-		out = append(out, Benchmark(c))
+// BenchmarkAll runs the workload for the given protocols as independent
+// pool trials; results come back in protos order. A nil pool runs
+// serially with base seed cfg.Seed.
+func BenchmarkAll(ctx context.Context, p *runner.Pool, cfg BenchmarkConfig, protos []Proto) ([]*BenchmarkResult, error) {
+	if p == nil {
+		p = runner.Serial(cfg.Seed)
 	}
-	return out
+	rs, _, err := runner.Map(ctx, p, len(protos), func(i int, seed int64) (*BenchmarkResult, error) {
+		c := cfg
+		c.Proto = protos[i]
+		c.Seed = seed
+		return Benchmark(c), nil
+	})
+	return rs, err
 }
 
 // FormatBenchmark renders the Fig 13/16 pair of panels.

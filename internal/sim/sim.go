@@ -155,8 +155,14 @@ func (s *Simulator) Stop() { s.stopped = true }
 func (s *Simulator) Run() { s.RunUntil(Time(1<<62 - 1)) }
 
 // RunUntil executes events with timestamps <= end (or until the queue
-// drains, or Stop). On return, Now() is min(end, time of last event) — if
-// events remain past end, Now() is advanced to end.
+// drains, or Stop). The contract for Now() on return:
+//
+//   - events remain past end: Now() == end (virtual time passed even
+//     though nothing fired in the tail);
+//   - the queue drained before end: Now() stays at the last executed
+//     event — an idle simulation does not invent the passage of time, so
+//     measurements like goodput over Now() reflect actual activity;
+//   - Stop() was called: Now() stays at the stopping event.
 func (s *Simulator) RunUntil(end Time) {
 	s.stopped = false
 	for len(s.events) > 0 && !s.stopped {
@@ -174,9 +180,6 @@ func (s *Simulator) RunUntil(end Time) {
 	}
 	if s.now < end && !s.stopped && len(s.events) > 0 {
 		s.now = end
-	} else if len(s.events) == 0 && s.now < end {
-		// Queue drained; leave time at the last executed event.
-		_ = s.now
 	}
 }
 

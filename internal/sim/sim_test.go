@@ -228,3 +228,54 @@ func TestNestedScheduling(t *testing.T) {
 		t.Fatalf("Now = %v, want 999", s.Now())
 	}
 }
+
+func TestRunUntilTailContract(t *testing.T) {
+	// The three cases of the documented Now() contract.
+
+	// 1. Events remain past end: Now() advances to end.
+	s := New(1)
+	s.At(5, func() {})
+	s.At(50, func() {})
+	s.RunUntil(20)
+	if s.Now() != 20 {
+		t.Fatalf("events-remain case: Now = %v, want 20", s.Now())
+	}
+
+	// 2. Queue drains before end: Now() stays at the last executed event,
+	// not the horizon — idle time is not invented.
+	s = New(1)
+	s.At(5, func() {})
+	s.At(7, func() {})
+	s.RunUntil(1000)
+	if s.Now() != 7 {
+		t.Fatalf("drain case: Now = %v, want 7 (last executed event)", s.Now())
+	}
+	// Draining again (empty queue) must not move time either.
+	s.RunUntil(2000)
+	if s.Now() != 7 {
+		t.Fatalf("empty-queue case: Now = %v, want 7", s.Now())
+	}
+
+	// 3. Stop mid-run: Now() stays at the stopping event even though
+	// events remain before end.
+	s = New(1)
+	s.At(3, func() { s.Stop() })
+	s.At(9, func() {})
+	s.RunUntil(100)
+	if s.Now() != 3 {
+		t.Fatalf("stop case: Now = %v, want 3", s.Now())
+	}
+}
+
+func TestRunUntilDrainViaStoppedTimers(t *testing.T) {
+	// Cancelled timers do not count as execution: popping them must not
+	// advance Now() past the last event that actually ran.
+	s := New(1)
+	s.At(2, func() {})
+	tm := s.At(8, func() { t.Fatal("stopped timer fired") })
+	tm.Stop()
+	s.RunUntil(100)
+	if s.Now() != 2 {
+		t.Fatalf("Now = %v, want 2 (stopped timer must not advance time)", s.Now())
+	}
+}

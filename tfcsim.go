@@ -30,9 +30,14 @@
 //	conn.Sender.Send(1 << 20)
 //	s.RunUntil(100 * tfcsim.Millisecond)
 //
-// Or run a whole paper experiment:
+// Or run a whole paper experiment, fanning its trials across cores
+// (output is byte-identical at any parallelism — every trial's seed is
+// derived from its index, never from scheduling order):
 //
-//	out, err := tfcsim.RunExperiment("fig12", tfcsim.Quick)
+//	e, _ := tfcsim.Find("fig12")
+//	res, err := e.Run(ctx, tfcsim.RunOptions{Scale: tfcsim.Quick, Seed: 7, Parallelism: 8})
+//	// res.Text is the rendered table, res.Data the []exp.IncastPoint,
+//	// res.Trials the per-trial wall-time/event metrics.
 package tfcsim
 
 import (

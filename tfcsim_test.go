@@ -1,6 +1,8 @@
 package tfcsim
 
 import (
+	"context"
+	"errors"
 	"strings"
 	"testing"
 )
@@ -68,7 +70,7 @@ func TestExperimentRegistry(t *testing.T) {
 	}
 	seen := map[string]bool{}
 	for _, e := range es {
-		if e.Name == "" || e.Desc == "" || e.Figure == "" || e.Run == nil {
+		if e.Name == "" || e.Desc == "" || e.Figure == "" || e.run == nil {
 			t.Fatalf("incomplete registry entry: %+v", e)
 		}
 		if seen[e.Name] {
@@ -124,6 +126,95 @@ func TestDeterminismAcrossRuns(t *testing.T) {
 	}
 	if a != b {
 		t.Fatal("experiment output not deterministic")
+	}
+}
+
+func TestRunOptionsValidation(t *testing.T) {
+	e, ok := Find("fig06")
+	if !ok {
+		t.Fatal("fig06 not in registry")
+	}
+	if _, err := e.Run(context.Background(), RunOptions{Scale: Scale("huge")}); err == nil {
+		t.Fatal("unknown scale should error")
+	}
+	// Zero-value options resolve to quick / seed 1 / GOMAXPROCS.
+	res, err := e.Run(context.Background(), RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Scale != Quick || res.Seed != 1 {
+		t.Fatalf("defaults: scale=%s seed=%d, want quick/1", res.Scale, res.Seed)
+	}
+	if res.Name != "fig06" || res.Figure == "" || res.Text == "" || res.Data == nil {
+		t.Fatalf("result incomplete: %+v", res)
+	}
+	if len(res.Trials) == 0 || res.Events == 0 || res.Wall <= 0 {
+		t.Fatalf("metrics missing: trials=%d events=%d wall=%v",
+			len(res.Trials), res.Events, res.Wall)
+	}
+}
+
+func TestParallelismEquivalence(t *testing.T) {
+	// The acceptance bar for the runner: a sweep's output is byte-identical
+	// whether its trials run serially or fanned across 8 workers, because
+	// seeds and result slots depend only on the trial index.
+	e, ok := Find("fig12")
+	if !ok {
+		t.Fatal("fig12 not in registry")
+	}
+	r1, err := e.Run(context.Background(), RunOptions{Scale: Quick, Seed: 7, Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r8, err := e.Run(context.Background(), RunOptions{Scale: Quick, Seed: 7, Parallelism: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Text != r8.Text {
+		t.Fatalf("fig12 output differs between -j 1 and -j 8:\n--- j=1 ---\n%s\n--- j=8 ---\n%s",
+			r1.Text, r8.Text)
+	}
+	if r1.Events != r8.Events {
+		t.Fatalf("event totals differ: j=1 %d vs j=8 %d", r1.Events, r8.Events)
+	}
+	// Trial metrics are ordered by index with index-derived seeds.
+	for i, m := range r8.Trials {
+		if m.Index != i {
+			t.Fatalf("trial %d has index %d; metrics not sorted", i, m.Index)
+		}
+	}
+}
+
+func TestExperimentRunCancelled(t *testing.T) {
+	e, ok := Find("fig12")
+	if !ok {
+		t.Fatal("fig12 not in registry")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := e.Run(ctx, RunOptions{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestRunAllQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every experiment at quick scale")
+	}
+	rs, err := RunAll(context.Background(), RunOptions{Scale: Quick})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != len(Experiments()) {
+		t.Fatalf("RunAll returned %d results, want %d", len(rs), len(Experiments()))
+	}
+	for i, r := range rs {
+		if r.Name != Experiments()[i].Name {
+			t.Fatalf("result %d is %q, want registry order (%q)", i, r.Name, Experiments()[i].Name)
+		}
+		if r.Text == "" || r.Events == 0 {
+			t.Fatalf("%s: empty result (%d events)", r.Name, r.Events)
+		}
 	}
 }
 
