@@ -9,6 +9,7 @@ package tfcsim
 
 import (
 	"context"
+	"runtime"
 	"testing"
 
 	"tfcsim/internal/exp"
@@ -214,10 +215,20 @@ func BenchmarkExtensionCreditIncast(b *testing.B) {
 
 // BenchmarkEngineThroughput measures raw simulator event throughput with a
 // saturated 10G dumbbell — the substrate cost every experiment pays.
+// Mevents/simsec is scenario-determined (a determinism canary: it must not
+// move across engine changes); Mevents/wallsec and allocs/pkt-hop are the
+// performance figures tracked by BENCH_*.json.
 func BenchmarkEngineThroughput(b *testing.B) {
+	b.ReportAllocs()
+	var events uint64
+	var hops int64
+	var ms0, ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s := NewSimulator(1)
 		net := NewNetwork(s)
+		net.PoolPackets = true
 		h1 := net.NewHost("h1")
 		h2 := net.NewHost("h2")
 		sw := net.NewSwitch("sw")
@@ -230,6 +241,17 @@ func BenchmarkEngineThroughput(b *testing.B) {
 		conn.Sender.Open()
 		conn.Sender.Send(1 << 30)
 		s.RunUntil(50 * Millisecond)
-		b.ReportMetric(float64(s.Executed())/50e-3/1e6, "Mevents/simsec")
+		events += s.Executed()
+		for _, n := range net.Nodes() {
+			for _, p := range n.Ports() {
+				hops += p.TxPackets
+			}
+		}
 	}
+	b.StopTimer()
+	runtime.ReadMemStats(&ms1)
+	simsec := 50e-3 * float64(b.N)
+	b.ReportMetric(float64(events)/simsec/1e6, "Mevents/simsec")
+	b.ReportMetric(float64(events)/b.Elapsed().Seconds()/1e6, "Mevents/wallsec")
+	b.ReportMetric(float64(ms1.Mallocs-ms0.Mallocs)/float64(hops), "allocs/pkt-hop")
 }

@@ -1,0 +1,150 @@
+// Command benchjson converts `go test -bench` text output into stable JSON
+// for machine comparison across commits (the BENCH_*.json artifacts in CI).
+// The output is deterministic for a given input — no timestamps or
+// environment beyond what the benchmark run itself printed — so two runs
+// with identical numbers produce identical files.
+//
+// Usage:
+//
+//	go test -bench=. -count=5 | go run ./cmd/benchjson -label post -o BENCH_1.json
+//	go run ./cmd/benchjson -label pre < bench.txt
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Bench is one benchmark result line. Repeated lines (from -count=N) appear
+// as separate entries in input order, preserving the raw distribution for
+// benchstat-style analysis.
+type Bench struct {
+	Name string `json:"name"`
+	Pkg  string `json:"pkg,omitempty"`
+	// N is the iteration count the framework settled on.
+	N       int64   `json:"n"`
+	NsPerOp float64 `json:"ns_per_op"`
+	// Metrics holds custom b.ReportMetric values (e.g. "Mevents/wallsec",
+	// "allocs/pkt-hop") plus B/op and allocs/op when reported.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is the top-level JSON document.
+type Report struct {
+	Label   string  `json:"label,omitempty"`
+	Goos    string  `json:"goos,omitempty"`
+	Goarch  string  `json:"goarch,omitempty"`
+	CPU     string  `json:"cpu,omitempty"`
+	Benches []Bench `json:"benchmarks"`
+}
+
+func main() {
+	label := flag.String("label", "", "label recorded in the report (e.g. commit or pre/post)")
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	in := io.Reader(os.Stdin)
+	if flag.NArg() == 1 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	} else if flag.NArg() > 1 {
+		fatal(fmt.Errorf("at most one input file"))
+	}
+
+	rep, err := parse(in)
+	if err != nil {
+		fatal(err)
+	}
+	rep.Label = *label
+	if len(rep.Benches) == 0 {
+		fatal(fmt.Errorf("no benchmark lines found in input"))
+	}
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fatal(err)
+	}
+}
+
+func parse(r io.Reader) (*Report, error) {
+	rep := &Report{}
+	pkg := ""
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			rep.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			rep.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "cpu:"):
+			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "pkg:"):
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			b, err := parseBench(line, pkg)
+			if err != nil {
+				return nil, fmt.Errorf("%q: %w", line, err)
+			}
+			rep.Benches = append(rep.Benches, b)
+		}
+	}
+	return rep, sc.Err()
+}
+
+// parseBench parses one result line:
+//
+//	BenchmarkName-8   5   123 ns/op   6.4 Mevents/simsec   96 B/op   2 allocs/op
+func parseBench(line, pkg string) (Bench, error) {
+	f := strings.Fields(line)
+	if len(f) < 3 {
+		return Bench{}, fmt.Errorf("too few fields")
+	}
+	b := Bench{Name: f[0], Pkg: pkg}
+	n, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return Bench{}, fmt.Errorf("iteration count: %w", err)
+	}
+	b.N = n
+	// Remaining fields come in (value, unit) pairs.
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return Bench{}, fmt.Errorf("value %q: %w", f[i], err)
+		}
+		unit := f[i+1]
+		if unit == "ns/op" {
+			b.NsPerOp = v
+			continue
+		}
+		if b.Metrics == nil {
+			b.Metrics = map[string]float64{}
+		}
+		b.Metrics[unit] = v
+	}
+	return b, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

@@ -20,6 +20,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"runtime/pprof"
 
 	"tfcsim"
 )
@@ -40,6 +41,8 @@ Flags for run/all:
   -out FILE            also write output to this file
   -csv DIR             export raw series/CDF data as CSV (fig06, fig08-10, fig12, fig13)
   -v                   print per-trial progress to stderr
+  -cpuprofile FILE     write a CPU profile of the run (go tool pprof)
+  -memprofile FILE     write a heap profile taken after the run
 `, runtime.GOMAXPROCS(0))
 	os.Exit(2)
 }
@@ -69,6 +72,8 @@ func main() {
 		out := fs.String("out", "", "also write output to this file")
 		csv := fs.String("csv", "", "export raw series/CDF data as CSV into this directory")
 		verbose := fs.Bool("v", false, "print per-trial progress to stderr")
+		cpuprofile := fs.String("cpuprofile", "", "write CPU profile to this file")
+		memprofile := fs.String("memprofile", "", "write heap profile to this file")
 		args := os.Args[2:]
 		var name string
 		if os.Args[1] == "run" {
@@ -80,6 +85,33 @@ func main() {
 		}
 		if err := fs.Parse(args); err != nil {
 			os.Exit(2)
+		}
+		if *cpuprofile != "" {
+			f, err := os.Create(*cpuprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			if err := pprof.StartCPUProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			defer func() { pprof.StopCPUProfile(); f.Close() }()
+		}
+		if *memprofile != "" {
+			path := *memprofile
+			defer func() {
+				f, err := os.Create(path)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					return
+				}
+				defer f.Close()
+				runtime.GC() // settle the heap so the profile shows retained objects
+				if err := pprof.WriteHeapProfile(f); err != nil {
+					fmt.Fprintln(os.Stderr, err)
+				}
+			}()
 		}
 
 		// Ctrl-C cancels cleanly: in-flight trials finish, queued ones are

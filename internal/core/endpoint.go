@@ -188,12 +188,14 @@ func (s *Sender) Close() {
 func (s *Sender) flight() int64 { return s.sndNxt - s.sndUna }
 
 func (s *Sender) sendSYN() {
-	s.cfg.Local.Send(&netsim.Packet{
+	p := s.cfg.Local.NewPacket()
+	*p = netsim.Packet{
 		Flow: s.cfg.Flow, Src: s.cfg.Local.ID(), Dst: s.cfg.Peer.ID(),
 		Flags:  netsim.FlagSYN | netsim.FlagRM,
 		SentAt: s.cfg.Sim.Now(), Window: netsim.WindowUnset,
 		Weight: uint8(s.cfg.Weight),
-	})
+	}
+	s.cfg.Local.Send(p)
 	s.armRTO()
 }
 
@@ -203,18 +205,21 @@ func (s *Sender) sendSYN() {
 // of synchronized new flows (paper §4.6).
 func (s *Sender) sendProbe() {
 	s.Probes++
-	s.cfg.Local.Send(&netsim.Packet{
+	p := s.cfg.Local.NewPacket()
+	*p = netsim.Packet{
 		Flow: s.cfg.Flow, Src: s.cfg.Local.ID(), Dst: s.cfg.Peer.ID(),
 		Flags:  netsim.FlagRM,
 		Seq:    s.sndNxt,
 		SentAt: s.cfg.Sim.Now(), Window: netsim.WindowUnset,
 		Weight: uint8(s.cfg.Weight),
-	})
+	}
+	s.cfg.Local.Send(p)
 	s.armRTO()
 }
 
 func (s *Sender) mkData(seq int64, n int, rm bool) *netsim.Packet {
-	p := &netsim.Packet{
+	p := s.cfg.Local.NewPacket()
+	*p = netsim.Packet{
 		Flow: s.cfg.Flow, Src: s.cfg.Local.ID(), Dst: s.cfg.Peer.ID(),
 		Seq: seq, Payload: n, SentAt: s.cfg.Sim.Now(), Window: netsim.WindowUnset,
 		Weight: uint8(s.cfg.Weight),
@@ -423,11 +428,13 @@ func (s *Sender) finish() {
 	s.state = stDone
 	if !s.finSent {
 		s.finSent = true
-		s.cfg.Local.Send(&netsim.Packet{
+		p := s.cfg.Local.NewPacket()
+		*p = netsim.Packet{
 			Flow: s.cfg.Flow, Src: s.cfg.Local.ID(), Dst: s.cfg.Peer.ID(),
 			Flags: netsim.FlagFIN, Seq: s.sndNxt,
 			SentAt: s.cfg.Sim.Now(), Window: netsim.WindowUnset,
-		})
+		}
+		s.cfg.Local.Send(p)
 	}
 	s.rto.Stop()
 	s.st.Done = true
@@ -472,11 +479,13 @@ func (r *Receiver) Received() int64 { return r.reasm.Next() }
 func (r *Receiver) Deliver(pkt *netsim.Packet) {
 	switch {
 	case pkt.Flags&netsim.FlagSYN != 0:
-		r.host.Send(&netsim.Packet{
+		p := r.host.NewPacket()
+		*p = netsim.Packet{
 			Flow: r.flow, Src: r.host.ID(), Dst: r.peer.ID(),
 			Flags: netsim.FlagSYN | netsim.FlagACK, Ack: r.reasm.Next(),
 			SentAt: pkt.SentAt, Window: netsim.WindowUnset,
-		})
+		}
+		r.host.Send(p)
 	case pkt.Flags&netsim.FlagFIN != 0:
 		r.FinAt = r.sim.Now()
 	case pkt.Payload > 0 || pkt.Flags&netsim.FlagRM != 0:
@@ -485,7 +494,8 @@ func (r *Receiver) Deliver(pkt *netsim.Packet) {
 		if pkt.Payload > 0 {
 			next = r.reasm.Add(pkt.Seq, pkt.Payload)
 		}
-		ack := &netsim.Packet{
+		ack := r.host.NewPacket()
+		*ack = netsim.Packet{
 			Flow: r.flow, Src: r.host.ID(), Dst: r.peer.ID(),
 			Flags: netsim.FlagACK, Ack: next,
 			SentAt: pkt.SentAt, Window: netsim.WindowUnset,

@@ -114,13 +114,13 @@ type PortState struct {
 	lastRhoAt sim.Time // time of the last accounted slot boundary
 	lastRTTm  sim.Time
 	missK     int
-	dTimer    *sim.Timer
+	dTimer    sim.Timer
 
 	// Delay arbiter (token bucket over the data direction of this port).
 	counter    float64
 	lastRefill sim.Time
 	delayQ     []heldAck
-	release    *sim.Timer
+	release    sim.Timer
 
 	// Statistics.
 	Slots       int64
@@ -352,9 +352,7 @@ func (st *PortState) endSlot(pkt *netsim.Packet) {
 
 // armDelimTimer schedules delimiter-staleness detection at 2^(k+1)·rtt_last.
 func (st *PortState) armDelimTimer(rttLast sim.Time) {
-	if st.dTimer != nil {
-		st.dTimer.Stop()
-	}
+	st.dTimer.Stop()
 	shift := uint(st.missK + 1)
 	if shift > uint(st.cfg.MaxMissK) {
 		shift = uint(st.cfg.MaxMissK)
@@ -371,9 +369,7 @@ func (st *PortState) onDelimMiss() {
 
 func (st *PortState) dropDelimiter() {
 	st.hasDelim = false
-	if st.dTimer != nil {
-		st.dTimer.Stop()
-	}
+	st.dTimer.Stop()
 }
 
 // --- ACK delay arbiter (paper §4.6, Event 2) ---

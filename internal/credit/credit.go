@@ -159,11 +159,13 @@ func (s *Sender) Close() {
 }
 
 func (s *Sender) sendCtl(fl netsim.Flag) {
-	s.cfg.Local.Send(&netsim.Packet{
+	p := s.cfg.Local.NewPacket()
+	*p = netsim.Packet{
 		Flow: s.cfg.Flow, Src: s.cfg.Local.ID(), Dst: s.cfg.Peer.ID(),
 		Flags: fl, Seq: s.sndNxt, SentAt: s.cfg.Sim.Now(),
 		Window: s.budget - s.sndNxt,
-	})
+	}
+	s.cfg.Local.Send(p)
 }
 
 // Deliver processes credits (and their piggybacked cumulative ACKs).
@@ -208,11 +210,13 @@ func (s *Sender) Deliver(pkt *netsim.Packet) {
 		if s.st.FirstSend == 0 {
 			s.st.FirstSend = s.cfg.Sim.Now()
 		}
-		s.cfg.Local.Send(&netsim.Packet{
+		p := s.cfg.Local.NewPacket()
+		*p = netsim.Packet{
 			Flow: s.cfg.Flow, Src: s.cfg.Local.ID(), Dst: s.cfg.Peer.ID(),
 			Seq: s.sndNxt, Payload: int(seg), SentAt: s.cfg.Sim.Now(),
 			Window: s.budget - s.sndNxt - seg, // remaining-after hint
-		})
+		}
+		s.cfg.Local.Send(p)
 		s.sndNxt += seg
 		s.CreditsUsed++
 		if !s.rto.Armed() {

@@ -13,7 +13,7 @@ type Receiver struct {
 	reasm transport.Reassembly
 
 	crediting bool
-	pacer     *sim.Timer
+	pacer     sim.Timer
 	rate      float64 // credits per second
 	maxRate   float64
 	remaining int64 // sender's most recent remaining-bytes hint
@@ -22,7 +22,7 @@ type Receiver struct {
 	epochSent  int
 	epochUsed  int
 	barren     int // consecutive epochs with zero productive credits
-	epochTimer *sim.Timer
+	epochTimer sim.Timer
 
 	// FinAt records FIN arrival.
 	FinAt sim.Time
@@ -98,18 +98,12 @@ func (r *Receiver) start() {
 
 func (r *Receiver) stop() {
 	r.crediting = false
-	if r.pacer != nil {
-		r.pacer.Stop()
-	}
-	if r.epochTimer != nil {
-		r.epochTimer.Stop()
-	}
+	r.pacer.Stop()
+	r.epochTimer.Stop()
 }
 
 func (r *Receiver) scheduleEpoch() {
-	if r.epochTimer != nil {
-		r.epochTimer.Stop()
-	}
+	r.epochTimer.Stop()
 	r.epochTimer = r.cfg.Sim.After(r.cfg.Epoch, func() {
 		if !r.crediting {
 			return
@@ -120,9 +114,7 @@ func (r *Receiver) scheduleEpoch() {
 }
 
 func (r *Receiver) schedule() {
-	if r.pacer != nil {
-		r.pacer.Stop()
-	}
+	r.pacer.Stop()
 	gap := sim.Time(float64(sim.Second) / r.rate)
 	if gap < sim.Microsecond {
 		gap = sim.Microsecond
@@ -187,23 +179,27 @@ func (r *Receiver) feedback() {
 
 func (r *Receiver) sendCredit() {
 	r.CreditsSent++
-	r.cfg.Peer.Send(&netsim.Packet{
+	p := r.cfg.Peer.NewPacket()
+	*p = netsim.Packet{
 		Flow: r.cfg.Flow, Src: r.cfg.Peer.ID(), Dst: r.cfg.Local.ID(),
 		Flags: netsim.FlagCRD | netsim.FlagACK,
 		Ack:   r.reasm.Next(), SentAt: r.cfg.Sim.Now(),
 		Window: netsim.WindowUnset,
-	})
+	}
+	r.cfg.Peer.Send(p)
 }
 
 // sendAck emits a plain cumulative ACK (not subject to credit shaping and
 // never spending a credit at the sender).
 func (r *Receiver) sendAck() {
-	r.cfg.Peer.Send(&netsim.Packet{
+	p := r.cfg.Peer.NewPacket()
+	*p = netsim.Packet{
 		Flow: r.cfg.Flow, Src: r.cfg.Peer.ID(), Dst: r.cfg.Local.ID(),
 		Flags: netsim.FlagACK,
 		Ack:   r.reasm.Next(), SentAt: r.cfg.Sim.Now(),
 		Window: netsim.WindowUnset,
-	})
+	}
+	r.cfg.Peer.Send(p)
 }
 
 // Shaper rate-limits credit packets at switches so the data they trigger
@@ -235,7 +231,7 @@ type bucket struct {
 	last    sim.Time
 	rate    float64 // credits per second
 	queue   []heldCredit
-	release *sim.Timer
+	release sim.Timer
 }
 
 // AttachShaper installs credit shaping on a switch (one bucket per data
@@ -276,7 +272,8 @@ func (sh *Shaper) Intercept(pkt *netsim.Packet, out *netsim.Port, sw *netsim.Swi
 	}
 	if len(b.queue) >= sh.QueueCap {
 		sh.Dropped++
-		return true // credit shaped away
+		out.Network().ReleasePacket(pkt) // credit shaped away
+		return true
 	}
 	b.queue = append(b.queue, heldCredit{pkt, out})
 	sh.Queued++

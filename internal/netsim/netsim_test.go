@@ -382,3 +382,136 @@ func TestWindowUnsetSentinel(t *testing.T) {
 		t.Fatal("WindowUnset must exceed any plausible BDP in bytes")
 	}
 }
+
+func TestTxTimeOverflow(t *testing.T) {
+	// Regression: the old int64 form (n*8*Second/r) overflowed for
+	// n ≳ 1.07 GB and returned a negative delay, which a pacing loop would
+	// treat as "transmit instantly".
+	cases := []struct {
+		r    Rate
+		n    int
+		want sim.Time
+	}{
+		// In-range results must stay bit-identical to the int64 math.
+		{Gbps, 125, sim.Microsecond},
+		{10 * Gbps, 1538, 1230},
+		// 2 GiB at 10 Gbps: exact answer 2^31·8·1e9/1e10 = 1717986918.4 ns,
+		// truncated. The old arithmetic wrapped negative here.
+		{10 * Gbps, 2 << 30, 1717986918},
+		// 100 GiB at 1 Gbps ≈ 859 s: far past the old overflow point.
+		{Gbps, 100 << 30, sim.Time(uint64(100<<30) * 8)},
+		{Gbps, 0, 0},
+		{0, 1500, 0},
+		{Gbps, -5, 0},
+	}
+	for _, c := range cases {
+		if got := c.r.TxTime(c.n); got != c.want {
+			t.Errorf("TxTime(%v, %d) = %d, want %d", c.r, c.n, got, c.want)
+		}
+		if got := c.r.TxTime(c.n); got < 0 {
+			t.Errorf("TxTime(%v, %d) went negative: %d", c.r, c.n, got)
+		}
+	}
+	// A quotient beyond int64 saturates rather than wrapping.
+	if got := Rate(1).TxTime(1 << 62); got != sim.Time(1<<63-1) {
+		t.Errorf("saturation case = %d, want MaxInt64", got)
+	}
+}
+
+func TestFlagNamesComplete(t *testing.T) {
+	// flagNames is the display table behind Flag.String; every defined
+	// constant must appear exactly once and in bit order, or String output
+	// silently drops flags.
+	all := []struct {
+		bit  Flag
+		name string
+	}{
+		{FlagSYN, "SYN"}, {FlagACK, "ACK"}, {FlagFIN, "FIN"}, {FlagRM, "RM"},
+		{FlagRMA, "RMA"}, {FlagECT, "ECT"}, {FlagCE, "CE"}, {FlagECE, "ECE"},
+		{FlagCRD, "CRD"},
+	}
+	if len(flagNames) != len(all) {
+		t.Fatalf("flagNames has %d entries, want %d", len(flagNames), len(all))
+	}
+	var prev Flag
+	for i, want := range all {
+		got := flagNames[i]
+		if got.bit != want.bit || got.name != want.name {
+			t.Errorf("flagNames[%d] = {%d,%q}, want {%d,%q}",
+				i, got.bit, got.name, want.bit, want.name)
+		}
+		if got.bit <= prev {
+			t.Errorf("flagNames[%d] out of bit order", i)
+		}
+		prev = got.bit
+		if s := got.bit.String(); s != want.name {
+			t.Errorf("(%q).String() = %q", want.name, s)
+		}
+	}
+	// Every single-bit value up to the highest defined flag must render as
+	// something other than "0" (i.e. no constant is missing from the table).
+	for b := Flag(1); b <= FlagCRD; b <<= 1 {
+		if b.String() == "0" {
+			t.Errorf("flag bit %#x missing from flagNames", uint16(b))
+		}
+	}
+}
+
+func TestPacketPoolRoundTrip(t *testing.T) {
+	// With PoolPackets on, a delivered packet's memory is reused by the next
+	// NewPacket, and release zeroes it so no stale header fields leak.
+	s := sim.New(1)
+	net := NewNetwork(s)
+	net.PoolPackets = true
+	h1 := net.NewHost("h1")
+	h2 := net.NewHost("h2")
+	net.Connect(h1, h2, LinkConfig{Rate: Gbps, Delay: sim.Microsecond})
+	net.ComputeRoutes()
+	got := 0
+	h2.Register(7, deliverFunc(func(p *Packet) { got += p.Payload }))
+
+	p1 := net.NewPacket()
+	p1.Flow, p1.Src, p1.Dst, p1.Payload = 7, h1.ID(), h2.ID(), 1000
+	p1.Seq, p1.Window = 555, 999
+	h1.Send(p1)
+	s.Run()
+	if got != 1000 {
+		t.Fatalf("delivered %d bytes, want 1000", got)
+	}
+
+	p2 := net.NewPacket()
+	if p2 != p1 {
+		t.Fatal("pool did not reuse the released packet")
+	}
+	if *p2 != (Packet{}) {
+		t.Fatalf("recycled packet not zeroed: %+v", *p2)
+	}
+}
+
+func TestPoolDisabledKeepsPackets(t *testing.T) {
+	// Default mode: delivered packets stay valid (tests and experiments
+	// retain them), so NewPacket must not hand the same memory back.
+	s := sim.New(1)
+	net := NewNetwork(s)
+	h1 := net.NewHost("h1")
+	h2 := net.NewHost("h2")
+	net.Connect(h1, h2, LinkConfig{Rate: Gbps, Delay: sim.Microsecond})
+	net.ComputeRoutes()
+	var kept *Packet
+	h2.Register(7, deliverFunc(func(p *Packet) { kept = p }))
+
+	p1 := net.NewPacket()
+	p1.Flow, p1.Src, p1.Dst, p1.Payload = 7, h1.ID(), h2.ID(), 1200
+	h1.Send(p1)
+	s.Run()
+	if kept != p1 || kept.Payload != 1200 {
+		t.Fatalf("delivered packet mutated without pooling: %+v", kept)
+	}
+	if p2 := net.NewPacket(); p2 == p1 {
+		t.Fatal("NewPacket reused live memory with pooling disabled")
+	}
+}
+
+type deliverFunc func(*Packet)
+
+func (f deliverFunc) Deliver(p *Packet) { f(p) }

@@ -59,6 +59,7 @@ func (sw *Switch) Receive(pkt *Packet, from *Port) {
 	out := sw.routeFor(pkt.Flow, pkt.Dst)
 	if out == nil {
 		sw.Unroutable++
+		sw.net.ReleasePacket(pkt)
 		return
 	}
 	if sw.Interceptor != nil && sw.Interceptor.Intercept(pkt, out, sw) {
@@ -142,6 +143,14 @@ func (h *Host) NIC() *Port {
 	return h.ports[0]
 }
 
+// NewPacket returns a zeroed packet from the network's pool (see
+// Network.NewPacket). Transport endpoints attached to this host allocate
+// their packets through it.
+func (h *Host) NewPacket() *Packet { return h.net.NewPacket() }
+
+// Network returns the network this host is attached to.
+func (h *Host) Network() *Network { return h.net }
+
 // Send transmits a packet out of the host NIC, after the host's
 // (randomized) processing delay. The jitter models interrupt/wakeup
 // latency, so it applies only when the NIC pipeline is idle: a line-rate
@@ -172,7 +181,7 @@ func (h *Host) Send(pkt *Packet) {
 		nic.Enqueue(pkt)
 		return
 	}
-	s.At(at, func() { nic.Enqueue(pkt) })
+	s.Schedule(at, h.net.newEvent(evHostSend, nic, pkt))
 }
 
 // Register binds an endpoint to a flow ID.
@@ -197,11 +206,16 @@ func (h *Host) Receive(pkt *Packet, from *Port) {
 		if ep == nil {
 			h.Stray++
 			h.net.trace(TraceStray, h.name, pkt)
+			h.net.ReleasePacket(pkt)
 			return
 		}
 	}
 	h.net.trace(TraceDeliver, h.name, pkt)
 	ep.Deliver(pkt)
+	// Delivery is the packet's release point: Deliver must consume the
+	// packet synchronously (every in-tree endpoint does), so ownership
+	// returns to the network's pool here.
+	h.net.ReleasePacket(pkt)
 }
 
 // Sim returns the simulator driving this host's network.
@@ -247,11 +261,94 @@ type Network struct {
 	// Trace, when set, receives every packet lifecycle event (tcpdump-like
 	// observability; adds one nil-check per event when unset).
 	Trace func(ev TraceEvent, at sim.Time, where string, pkt *Packet)
+
+	// PoolPackets opts this network into packet recycling: NewPacket draws
+	// from a free list that ReleasePacket refills when a packet's single
+	// ownership chain ends (delivery, drop, stray, or unroutable). With
+	// pooling on, nothing may hold a *Packet past the Deliver/OnEnqueue/
+	// Trace call it was passed to — copy the fields instead. Off by
+	// default: packets are then ordinary garbage-collected allocations and
+	// ReleasePacket is a no-op.
+	PoolPackets bool
+	pktFree     []*Packet
+
+	evFree []*portEvent // forwarding-path event pool (always on)
 }
 
 func (n *Network) trace(ev TraceEvent, where string, pkt *Packet) {
 	if n.Trace != nil {
 		n.Trace(ev, n.Sim.Now(), where, pkt)
+	}
+}
+
+// NewPacket returns a zeroed packet, recycled from the network's free list
+// when PoolPackets is set. Transports allocate through this (or the
+// Host.NewPacket convenience) so that steady-state forwarding allocates
+// nothing once the pool has warmed up.
+func (n *Network) NewPacket() *Packet {
+	if k := len(n.pktFree) - 1; k >= 0 {
+		p := n.pktFree[k]
+		n.pktFree[k] = nil
+		n.pktFree = n.pktFree[:k]
+		return p
+	}
+	return &Packet{}
+}
+
+// ReleasePacket returns a packet to the pool. The forwarding path calls it
+// wherever a packet's ownership ends; it is exported for code that takes
+// ownership via an Interceptor and then discards the packet. No-op unless
+// PoolPackets is set.
+func (n *Network) ReleasePacket(p *Packet) {
+	if !n.PoolPackets || p == nil {
+		return
+	}
+	*p = Packet{}
+	n.pktFree = append(n.pktFree, p)
+}
+
+// portEvent is the pooled sim.EventTarget carrying the forwarding path's
+// per-packet events (serialization done, delivery, deferred host send).
+// The pool makes the two events per packet per hop allocation-free.
+type portEvent struct {
+	port *Port
+	pkt  *Packet
+	kind uint8
+}
+
+// portEvent kinds.
+const (
+	evTxDone   uint8 = iota // frame fully serialized at port
+	evDeliver               // frame arrived at port's peer
+	evHostSend              // host processing delay elapsed; enqueue at NIC
+)
+
+func (n *Network) newEvent(kind uint8, port *Port, pkt *Packet) *portEvent {
+	var e *portEvent
+	if k := len(n.evFree) - 1; k >= 0 {
+		e = n.evFree[k]
+		n.evFree[k] = nil
+		n.evFree = n.evFree[:k]
+	} else {
+		e = &portEvent{}
+	}
+	e.kind, e.port, e.pkt = kind, port, pkt
+	return e
+}
+
+// RunEvent implements sim.EventTarget. The event frees itself before
+// acting so the callback chain can immediately reuse it.
+func (e *portEvent) RunEvent() {
+	p, pkt, kind := e.port, e.pkt, e.kind
+	e.port, e.pkt = nil, nil
+	p.net.evFree = append(p.net.evFree, e)
+	switch kind {
+	case evTxDone:
+		p.finishTx(pkt)
+	case evDeliver:
+		p.Peer.Receive(pkt, p)
+	case evHostSend:
+		p.Enqueue(pkt)
 	}
 }
 

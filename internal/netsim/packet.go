@@ -7,6 +7,8 @@ package netsim
 
 import (
 	"fmt"
+	"math/bits"
+	"strings"
 
 	"tfcsim/internal/sim"
 )
@@ -36,29 +38,36 @@ const (
 	FlagCRD // Credit (receiver-driven credit transports)
 )
 
+// flagNames maps every defined Flag bit to its display name, in bit order.
+// It is the single source of truth for Flag.String and is shared with the
+// package tests, which check it stays in sync with the constants above.
+var flagNames = []struct {
+	bit  Flag
+	name string
+}{
+	{FlagSYN, "SYN"}, {FlagACK, "ACK"}, {FlagFIN, "FIN"}, {FlagRM, "RM"},
+	{FlagRMA, "RMA"}, {FlagECT, "ECT"}, {FlagCE, "CE"}, {FlagECE, "ECE"},
+	{FlagCRD, "CRD"},
+}
+
 // String lists the set flags, e.g. "SYN|RM".
 func (f Flag) String() string {
-	names := []struct {
-		bit  Flag
-		name string
-	}{
-		{FlagSYN, "SYN"}, {FlagACK, "ACK"}, {FlagFIN, "FIN"}, {FlagRM, "RM"},
-		{FlagRMA, "RMA"}, {FlagECT, "ECT"}, {FlagCE, "CE"}, {FlagECE, "ECE"},
-		{FlagCRD, "CRD"},
-	}
-	out := ""
-	for _, n := range names {
-		if f&n.bit != 0 {
-			if out != "" {
-				out += "|"
-			}
-			out += n.name
-		}
-	}
-	if out == "" {
+	if f == 0 {
 		return "0"
 	}
-	return out
+	var b strings.Builder
+	for _, n := range flagNames {
+		if f&n.bit != 0 {
+			if b.Len() > 0 {
+				b.WriteByte('|')
+			}
+			b.WriteString(n.name)
+		}
+	}
+	if b.Len() == 0 {
+		return "0" // only unknown bits set
+	}
+	return b.String()
 }
 
 // Framing constants. A data segment of Payload bytes travels as an
@@ -140,9 +149,26 @@ const (
 	Gbps Rate = 1e9
 )
 
-// TxTime returns the serialization delay of n bytes at rate r.
+// TxTime returns the serialization delay of n bytes at rate r. The
+// intermediate product n·8·1e9 is computed in 128 bits: the naive int64
+// form overflows for n ≳ 1.07 GB (a multi-GB transfer handed to a pacing
+// computation), silently going negative. Results that do fit are
+// bit-identical to the old int64 arithmetic; delays beyond the int64 range
+// saturate.
 func (r Rate) TxTime(n int) sim.Time {
-	return sim.Time(int64(n) * 8 * int64(sim.Second) / int64(r))
+	if n <= 0 || r <= 0 {
+		return 0
+	}
+	const maxTime = 1<<63 - 1
+	hi, lo := bits.Mul64(uint64(n), 8*uint64(sim.Second))
+	if hi >= uint64(r) {
+		return sim.Time(maxTime) // quotient exceeds 64 bits
+	}
+	q, _ := bits.Div64(hi, lo, uint64(r))
+	if q > maxTime {
+		return sim.Time(maxTime)
+	}
+	return sim.Time(q)
 }
 
 // BytesPerSecond returns the rate converted to bytes/second.

@@ -32,7 +32,12 @@ type Port struct {
 	// probability (failure injection for tests and experiments).
 	LossRate float64
 
-	queue  []*Packet
+	// The FIFO is a power-of-two ring buffer: O(1) dequeue regardless of
+	// backlog, where a slice-shift FIFO degenerates to O(n²) total work in
+	// exactly the incast pile-ups this simulator exists to study.
+	q      []*Packet
+	qHead  int
+	qLen   int
 	qBytes int
 	busy   bool
 
@@ -53,10 +58,52 @@ type Port struct {
 func (p *Port) QueueBytes() int { return p.qBytes }
 
 // QueueLen returns the number of queued frames.
-func (p *Port) QueueLen() int { return len(p.queue) }
+func (p *Port) QueueLen() int { return p.qLen }
 
 // Busy reports whether the port is currently serializing a frame.
 func (p *Port) Busy() bool { return p.busy }
+
+// Network returns the network the port belongs to (interceptors use it to
+// release packets they took ownership of and then discard).
+func (p *Port) Network() *Network { return p.net }
+
+func (p *Port) pushQ(pkt *Packet) {
+	if p.qLen == len(p.q) {
+		p.growQ()
+	}
+	p.q[(p.qHead+p.qLen)&(len(p.q)-1)] = pkt
+	p.qLen++
+}
+
+func (p *Port) popQ() *Packet {
+	pkt := p.q[p.qHead]
+	p.q[p.qHead] = nil
+	p.qHead = (p.qHead + 1) & (len(p.q) - 1)
+	p.qLen--
+	return pkt
+}
+
+func (p *Port) growQ() {
+	n := 2 * len(p.q)
+	if n == 0 {
+		n = 16
+	}
+	nq := make([]*Packet, n)
+	for i := 0; i < p.qLen; i++ {
+		nq[i] = p.q[(p.qHead+i)&(len(p.q)-1)]
+	}
+	p.q = nq
+	p.qHead = 0
+}
+
+// drop records a dropped packet and returns it to the pool (ownership ends
+// here — nothing downstream will see it again).
+func (p *Port) drop(pkt *Packet) {
+	p.Drops++
+	p.DropBytes += int64(pkt.FrameBytes())
+	p.net.trace(TraceDrop, p.Label, pkt)
+	p.net.ReleasePacket(pkt)
+}
 
 // Enqueue admits a packet to the port. The hook runs first; then drop-tail
 // admission; then the packet joins the FIFO and transmission starts if the
@@ -64,26 +111,20 @@ func (p *Port) Busy() bool { return p.busy }
 func (p *Port) Enqueue(pkt *Packet) {
 	p.EnqPackets++
 	if p.Hook != nil && !p.Hook.OnEnqueue(pkt, p) {
-		p.Drops++
-		p.DropBytes += int64(pkt.FrameBytes())
-		p.net.trace(TraceDrop, p.Label, pkt)
+		p.drop(pkt)
 		return
 	}
 	if p.LossRate > 0 && p.sim.Rand.Float64() < p.LossRate {
-		p.Drops++
-		p.DropBytes += int64(pkt.FrameBytes())
-		p.net.trace(TraceDrop, p.Label, pkt)
+		p.drop(pkt)
 		return
 	}
 	fb := pkt.FrameBytes()
 	if p.BufBytes > 0 && p.qBytes+fb > p.BufBytes {
-		p.Drops++
-		p.DropBytes += int64(fb)
-		p.net.trace(TraceDrop, p.Label, pkt)
+		p.drop(pkt)
 		return
 	}
 	p.net.trace(TraceEnqueue, p.Label, pkt)
-	p.queue = append(p.queue, pkt)
+	p.pushQ(pkt)
 	p.qBytes += fb
 	if p.qBytes > p.MaxQueue {
 		p.MaxQueue = p.qBytes
@@ -94,26 +135,28 @@ func (p *Port) Enqueue(pkt *Packet) {
 	}
 }
 
+// startTx begins serializing the head-of-line frame. Completion and
+// delivery are pooled events (no closures): one fires when the last bit
+// leaves the port, the second after the propagation delay.
 func (p *Port) startTx() {
-	pkt := p.queue[0]
-	copy(p.queue, p.queue[1:])
-	p.queue[len(p.queue)-1] = nil
-	p.queue = p.queue[:len(p.queue)-1]
+	pkt := p.popQ()
 	p.qBytes -= pkt.FrameBytes()
 	p.busy = true
-	txTime := p.Rate.TxTime(pkt.WireBytes())
-	p.sim.After(txTime, func() {
-		p.TxPackets++
-		p.TxFrames += int64(pkt.FrameBytes())
-		p.net.trace(TraceTx, p.Label, pkt)
-		pkt.Hops++
-		p.sim.After(p.Delay, func() { p.Peer.Receive(pkt, p) })
-		if len(p.queue) > 0 {
-			p.startTx()
-		} else {
-			p.busy = false
-		}
-	})
+	p.sim.ScheduleAfter(p.Rate.TxTime(pkt.WireBytes()), p.net.newEvent(evTxDone, p, pkt))
+}
+
+// finishTx runs when the frame has fully serialized onto the link.
+func (p *Port) finishTx(pkt *Packet) {
+	p.TxPackets++
+	p.TxFrames += int64(pkt.FrameBytes())
+	p.net.trace(TraceTx, p.Label, pkt)
+	pkt.Hops++
+	p.sim.ScheduleAfter(p.Delay, p.net.newEvent(evDeliver, p, pkt))
+	if p.qLen > 0 {
+		p.startTx()
+	} else {
+		p.busy = false
+	}
 }
 
 // Utilization returns transmitted frame bytes divided by link capacity over

@@ -5,10 +5,17 @@
 // reproducible for a given seed. All simulation entities (links, switches,
 // transport endpoints, workload generators) schedule callbacks through a
 // single Simulator instance; the engine is strictly single-threaded.
+//
+// The hot path is allocation-free in steady state: the pending-event queue
+// is a concrete 4-ary min-heap of *timerNode (no interface boxing, no
+// container/heap dispatch), fired and cancelled nodes are recycled through
+// a per-Simulator free list, and high-frequency callers can schedule an
+// EventTarget instead of a closure so that nothing is allocated per event.
+// Generation counters keep Timer handles safe across recycling: Stop and
+// Active on a handle whose node has been reused are harmless no-ops.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 )
@@ -51,65 +58,77 @@ func (t Time) String() string {
 	}
 }
 
-// Timer is a handle to a scheduled event. It may be stopped before it fires.
-// The zero value is not useful; Timers are created by Simulator.At/After.
-type Timer struct {
+// EventTarget is the closure-free scheduling interface. High-frequency
+// callers (the network forwarding path schedules two events per packet per
+// hop) implement RunEvent on a pooled carrier struct and pass it to
+// Schedule/ScheduleAfter, avoiding the per-event closure allocations that
+// At/After cost.
+type EventTarget interface {
+	RunEvent()
+}
+
+// timerNode is one pending-queue entry. Nodes are owned by the Simulator
+// and recycled through its free list after they fire or their cancelled
+// entry is popped; Timer handles reference them together with the
+// generation captured at scheduling time.
+type timerNode struct {
 	at      Time
 	seq     uint64
-	index   int // heap index, -1 once popped
+	gen     uint64
 	fn      func()
+	target  EventTarget
+	index   int32 // heap index, -1 once popped
 	stopped bool
 }
 
+// Timer is a cancellable handle to a scheduled event. It is a small value
+// (copy freely); the zero value is inert: Stop reports false and Active
+// reports false. A handle outliving its event is safe — once the event has
+// fired (or its cancelled node was collected) the node's generation moves
+// on, and the stale handle can never affect a later event that happens to
+// reuse the same node.
+type Timer struct {
+	n   *timerNode
+	gen uint64
+}
+
 // Stop cancels the timer if it has not fired yet. It reports whether the
-// call prevented the timer from firing.
-func (t *Timer) Stop() bool {
-	if t == nil || t.stopped || t.index == -1 {
+// call prevented the timer from firing; stopping an already-fired,
+// already-stopped, or zero timer reports false.
+func (t Timer) Stop() bool {
+	n := t.n
+	if n == nil || n.gen != t.gen || n.stopped || n.index == -1 {
 		return false
 	}
-	t.stopped = true
+	n.stopped = true
 	return true
 }
 
 // Active reports whether the timer is still pending.
-func (t *Timer) Active() bool { return t != nil && !t.stopped && t.index != -1 }
+func (t Timer) Active() bool {
+	n := t.n
+	return n != nil && n.gen == t.gen && !n.stopped && n.index != -1
+}
 
-// When returns the virtual time at which the timer fires (or fired).
-func (t *Timer) When() Time { return t.at }
-
-type eventHeap []*Timer
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// When returns the virtual time at which the timer fires. Once the timer
+// has fired or been collected the handle is stale and When returns 0;
+// callers that need the deadline of a possibly-fired timer should check
+// Active first.
+func (t Timer) When() Time {
+	if t.n == nil || t.n.gen != t.gen {
+		return 0
 	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	t := x.(*Timer)
-	t.index = len(*h)
-	*h = append(*h, t)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	t := old[n-1]
-	old[n-1] = nil
-	t.index = -1
-	*h = old[:n-1]
-	return t
+	return t.n.at
 }
 
 // Simulator owns virtual time and the pending-event queue.
 type Simulator struct {
-	now     Time
-	events  eventHeap
+	now Time
+	// events is a 4-ary min-heap ordered by (at, seq). 4-ary beats binary
+	// here: sift-downs touch 4 children per level but run half the levels,
+	// and the children share cache lines.
+	events  []*timerNode
+	free    []*timerNode // recycled nodes
 	seq     uint64
 	stopped bool
 	// Rand is the experiment-scoped random source. It is seeded at
@@ -133,19 +152,123 @@ func (s *Simulator) Executed() uint64 { return s.executed }
 // At schedules fn at absolute virtual time t. Scheduling in the past (or at
 // the present) runs the event at the current time but after all events
 // already queued for that time. It returns a cancellable handle.
-func (s *Simulator) At(t Time, fn func()) *Timer {
-	if t < s.now {
-		t = s.now
-	}
-	tm := &Timer{at: t, seq: s.seq, fn: fn}
-	s.seq++
-	heap.Push(&s.events, tm)
-	return tm
+func (s *Simulator) At(t Time, fn func()) Timer {
+	return s.schedule(t, fn, nil)
 }
 
 // After schedules fn d nanoseconds from now.
-func (s *Simulator) After(d Time, fn func()) *Timer {
-	return s.At(s.now+d, fn)
+func (s *Simulator) After(d Time, fn func()) Timer {
+	return s.schedule(s.now+d, fn, nil)
+}
+
+// Schedule is the allocation-free variant of At: tgt.RunEvent runs at
+// absolute time t (clamped to now, FIFO among equal times, exactly like
+// At). The target must stay valid until the event fires or is stopped.
+func (s *Simulator) Schedule(t Time, tgt EventTarget) Timer {
+	return s.schedule(t, nil, tgt)
+}
+
+// ScheduleAfter schedules tgt.RunEvent d nanoseconds from now.
+func (s *Simulator) ScheduleAfter(d Time, tgt EventTarget) Timer {
+	return s.schedule(s.now+d, nil, tgt)
+}
+
+func (s *Simulator) schedule(t Time, fn func(), tgt EventTarget) Timer {
+	if t < s.now {
+		t = s.now
+	}
+	var n *timerNode
+	if k := len(s.free) - 1; k >= 0 {
+		n = s.free[k]
+		s.free[k] = nil
+		s.free = s.free[:k]
+	} else {
+		n = &timerNode{}
+	}
+	n.at = t
+	n.seq = s.seq
+	n.fn = fn
+	n.target = tgt
+	n.stopped = false
+	s.seq++
+	s.push(n)
+	return Timer{n: n, gen: n.gen}
+}
+
+// recycle returns a popped node to the free list. Bumping the generation
+// invalidates every outstanding handle to the node before it is reused.
+func (s *Simulator) recycle(n *timerNode) {
+	n.fn = nil
+	n.target = nil
+	n.gen++
+	s.free = append(s.free, n)
+}
+
+func timerLess(a, b *timerNode) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// push inserts n, sifting up through 4-ary parents.
+func (s *Simulator) push(n *timerNode) {
+	h := append(s.events, n)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !timerLess(n, h[p]) {
+			break
+		}
+		h[i] = h[p]
+		h[i].index = int32(i)
+		i = p
+	}
+	h[i] = n
+	n.index = int32(i)
+	s.events = h
+}
+
+// popMin removes and returns the earliest node.
+func (s *Simulator) popMin() *timerNode {
+	h := s.events
+	top := h[0]
+	top.index = -1
+	last := len(h) - 1
+	n := h[last]
+	h[last] = nil
+	h = h[:last]
+	s.events = h
+	if last == 0 {
+		return top
+	}
+	// Sift the former tail down from the root.
+	i := 0
+	for {
+		c := i<<2 + 1
+		if c >= last {
+			break
+		}
+		m := c
+		end := c + 4
+		if end > last {
+			end = last
+		}
+		for j := c + 1; j < end; j++ {
+			if timerLess(h[j], h[m]) {
+				m = j
+			}
+		}
+		if !timerLess(h[m], n) {
+			break
+		}
+		h[i] = h[m]
+		h[i].index = int32(i)
+		i = m
+	}
+	h[i] = n
+	n.index = int32(i)
+	return top
 }
 
 // Stop makes Run/RunUntil return after the current event completes.
@@ -166,17 +289,28 @@ func (s *Simulator) Run() { s.RunUntil(Time(1<<62 - 1)) }
 func (s *Simulator) RunUntil(end Time) {
 	s.stopped = false
 	for len(s.events) > 0 && !s.stopped {
-		next := s.events[0]
-		if next.at > end {
+		n := s.events[0]
+		if n.at > end {
 			break
 		}
-		heap.Pop(&s.events)
-		if next.stopped {
+		s.popMin()
+		if n.stopped {
+			s.recycle(n)
 			continue
 		}
-		s.now = next.at
+		s.now = n.at
 		s.executed++
-		next.fn()
+		// Recycle before invoking: outstanding handles are already dead
+		// (generation bumped), and the callback may schedule fresh events
+		// straight into the node we just returned.
+		if tgt := n.target; tgt != nil {
+			s.recycle(n)
+			tgt.RunEvent()
+		} else {
+			fn := n.fn
+			s.recycle(n)
+			fn()
+		}
 	}
 	if s.now < end && !s.stopped && len(s.events) > 0 {
 		s.now = end

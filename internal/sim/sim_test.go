@@ -279,3 +279,110 @@ func TestRunUntilDrainViaStoppedTimers(t *testing.T) {
 		t.Fatalf("Now = %v, want 2 (stopped timer must not advance time)", s.Now())
 	}
 }
+
+func TestStaleHandleOnRecycledNode(t *testing.T) {
+	// Fired timer nodes return to the free list and are reused by the next
+	// schedule. A handle to the old incarnation must be fully inert: its
+	// Stop/Active/When must neither misreport nor disturb the new timer.
+	s := New(1)
+	stale := s.At(10, func() {})
+	s.Run()
+
+	fired := false
+	fresh := s.At(20, func() { fired = true })
+	if stale.Stop() {
+		t.Fatal("stale Stop reported true")
+	}
+	if stale.Active() {
+		t.Fatal("stale Active reported true")
+	}
+	if w := stale.When(); w != 0 {
+		t.Fatalf("stale When = %v, want 0", w)
+	}
+	if !fresh.Active() {
+		t.Fatal("stale Stop deactivated the recycled node's new timer")
+	}
+	s.Run()
+	if !fired {
+		t.Fatal("recycled timer did not fire")
+	}
+}
+
+func TestStoppedHandleStaysStaleAcrossReuse(t *testing.T) {
+	// A Stop()ed node is also recycled; the dead handle must not be able to
+	// cancel the node's next incarnation either.
+	s := New(1)
+	dead := s.At(10, func() { t.Fatal("stopped timer fired") })
+	dead.Stop()
+
+	fired := false
+	s.At(5, func() { fired = true }) // likely reuses dead's node
+	if dead.Stop() {
+		t.Fatal("second Stop on dead handle reported true")
+	}
+	s.Run()
+	if !fired {
+		t.Fatal("dead handle's Stop cancelled an unrelated timer")
+	}
+}
+
+func TestZeroTimerInert(t *testing.T) {
+	// The zero Timer value (e.g. an un-armed struct field) is safe to poke.
+	var tm Timer
+	if tm.Active() {
+		t.Fatal("zero Timer reports active")
+	}
+	if tm.Stop() {
+		t.Fatal("zero Timer Stop reported true")
+	}
+	if tm.When() != 0 {
+		t.Fatal("zero Timer When != 0")
+	}
+}
+
+func TestTimerChurnReusesNodes(t *testing.T) {
+	// A schedule/stop/fire storm must recycle nodes rather than grow the
+	// pool without bound: 1e6 sequential timers should leave only O(live)
+	// nodes allocated. (Run under -race in CI; pure single-goroutine use.)
+	n := 1_000_000
+	if testing.Short() {
+		n = 50_000
+	}
+	s := New(1)
+	fired := 0
+	for i := 0; i < n; i++ {
+		tm := s.After(1, func() { fired++ })
+		if i%3 == 0 {
+			tm.Stop()
+			s.After(1, func() { fired++ })
+		}
+		s.RunUntil(s.Now() + 1)
+	}
+	if fired != n {
+		t.Fatalf("fired %d timers, want %d", fired, n)
+	}
+	if free := len(s.free); free > 8 {
+		t.Fatalf("free list holds %d nodes after serial churn, want a handful", free)
+	}
+}
+
+func TestScheduleTargetOrdering(t *testing.T) {
+	// Schedule (closure-free) and At (closure) share one timeline and one
+	// FIFO sequence at equal timestamps.
+	s := New(1)
+	var order []string
+	s.Schedule(10, eventFunc(func() { order = append(order, "target@10") }))
+	s.At(10, func() { order = append(order, "fn@10") })
+	s.ScheduleAfter(5, eventFunc(func() { order = append(order, "target@5") }))
+	s.Run()
+	want := []string{"target@5", "target@10", "fn@10"}
+	for i := range want {
+		if i >= len(order) || order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+type eventFunc func()
+
+func (f eventFunc) RunEvent() { f() }

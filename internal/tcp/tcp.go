@@ -194,15 +194,18 @@ func (s *Sender) Close() {
 func (s *Sender) flight() int64 { return s.sndNxt - s.sndUna }
 
 func (s *Sender) sendSYN() {
-	s.cfg.Local.Send(&netsim.Packet{
+	p := s.cfg.Local.NewPacket()
+	*p = netsim.Packet{
 		Flow: s.cfg.Flow, Src: s.cfg.Local.ID(), Dst: s.cfg.Peer.ID(),
 		Flags: netsim.FlagSYN, SentAt: s.cfg.Sim.Now(), Window: netsim.WindowUnset,
-	})
+	}
+	s.cfg.Local.Send(p)
 	s.armRTO()
 }
 
 func (s *Sender) mkData(seq int64, n int) *netsim.Packet {
-	p := &netsim.Packet{
+	p := s.cfg.Local.NewPacket()
+	*p = netsim.Packet{
 		Flow: s.cfg.Flow, Src: s.cfg.Local.ID(), Dst: s.cfg.Peer.ID(),
 		Seq: seq, Payload: n, SentAt: s.cfg.Sim.Now(), Window: netsim.WindowUnset,
 	}
@@ -406,11 +409,13 @@ func (s *Sender) finish() {
 	s.state = stateDone
 	if !s.finSent {
 		s.finSent = true
-		s.cfg.Local.Send(&netsim.Packet{
+		p := s.cfg.Local.NewPacket()
+		*p = netsim.Packet{
 			Flow: s.cfg.Flow, Src: s.cfg.Local.ID(), Dst: s.cfg.Peer.ID(),
 			Flags: netsim.FlagFIN, Seq: s.sndNxt, SentAt: s.cfg.Sim.Now(),
 			Window: netsim.WindowUnset,
-		})
+		}
+		s.cfg.Local.Send(p)
 	}
 	s.rto.Stop()
 	s.st.Done = true
@@ -457,12 +462,14 @@ func (r *Receiver) Received() int64 { return r.reasm.Next() }
 func (r *Receiver) Deliver(pkt *netsim.Packet) {
 	switch {
 	case pkt.Flags&netsim.FlagSYN != 0:
-		r.send(&netsim.Packet{
+		p := r.host.NewPacket()
+		*p = netsim.Packet{
 			Flow: r.flow, Src: r.host.ID(), Dst: r.peer.ID(),
 			Flags:  netsim.FlagSYN | netsim.FlagACK,
 			Ack:    r.reasm.Next(),
 			SentAt: pkt.SentAt, Window: netsim.WindowUnset,
-		})
+		}
+		r.send(p)
 	case pkt.Flags&netsim.FlagFIN != 0:
 		r.FinAt = r.sim.Now()
 	case pkt.Payload > 0:
@@ -472,11 +479,13 @@ func (r *Receiver) Deliver(pkt *netsim.Packet) {
 		if pkt.Flags&netsim.FlagCE != 0 {
 			flags |= netsim.FlagECE
 		}
-		r.send(&netsim.Packet{
+		p := r.host.NewPacket()
+		*p = netsim.Packet{
 			Flow: r.flow, Src: r.host.ID(), Dst: r.peer.ID(),
 			Flags: flags, Ack: next,
 			SentAt: pkt.SentAt, Window: netsim.WindowUnset,
-		})
+		}
+		r.send(p)
 		if next > before && r.OnData != nil {
 			r.OnData(next)
 		}

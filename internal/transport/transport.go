@@ -200,7 +200,7 @@ type RTOTimer struct {
 	s        *sim.Simulator
 	fn       func()
 	deadline sim.Time
-	timer    *sim.Timer
+	timer    sim.Timer
 	armed    bool
 }
 

@@ -1,0 +1,24 @@
+#!/usr/bin/env sh
+# bench.sh — run the engine benchmarks and emit a BENCH_<label>.json artifact.
+#
+#   scripts/bench.sh            # writes BENCH_1.json (5 runs of the engine bench)
+#   scripts/bench.sh mybranch   # writes BENCH_mybranch.json
+#
+# Compare against the committed pre-refactor baseline BENCH_0.json, or with
+# benchstat on the raw text kept next to the JSON.
+set -eu
+cd "$(dirname "$0")/.."
+
+label="${1:-1}"
+txt="BENCH_${label}.txt"
+json="BENCH_${label}.json"
+
+# The headline benchmark, repeated for a distribution benchstat can consume.
+go test -run '^$' -bench '^BenchmarkEngineThroughput$' -count=5 . | tee "$txt"
+
+# The hot-path microbenchmarks, one pass each.
+go test -run '^$' -bench '^Benchmark(TimerChurn|TimerChurnStop|EventTarget|HeapDepth)' ./internal/sim/ | tee -a "$txt"
+go test -run '^$' -bench '^Benchmark(SaturatedPort|IncastBurst)$' ./internal/netsim/ | tee -a "$txt"
+
+go run ./cmd/benchjson -label "$label" -o "$json" "$txt"
+echo "wrote $json"

@@ -54,7 +54,8 @@ type (
 	Simulator = sim.Simulator
 	// Time is virtual time in nanoseconds.
 	Time = sim.Time
-	// Timer is a cancellable scheduled event.
+	// Timer is a cancellable scheduled event. It is a small value handle
+	// (safe to copy; the zero value is inert) onto a pooled timer node.
 	Timer = sim.Timer
 
 	// Network is a collection of hosts, switches and links.
