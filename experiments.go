@@ -401,6 +401,22 @@ var registry = []Experiment{
 		},
 	},
 	{
+		Name: "robustness", Figure: "extension (§4 robustness mechanisms)",
+		Desc: "failure recovery: bottleneck blackouts (5/50/500ms) and 1% bursty loss, TFC vs DCTCP vs TCP",
+		run: func(ctx context.Context, rc *runCtx) (any, string, error) {
+			cfg := exp.RobustnessConfig{}
+			if rc.paper() {
+				cfg.Tail = 2 * sim.Second
+			}
+			rs, err := exp.RobustnessSweep(ctx, rc.pool, cfg, exp.DefaultScenarios,
+				[]exp.Proto{exp.TFC, exp.DCTCP, exp.TCP})
+			if err != nil {
+				return nil, "", err
+			}
+			return rs, exp.FormatRobustness(rs), nil
+		},
+	},
+	{
 		Name: "credit-baseline", Figure: "extension (§7 credit-based flow control)",
 		Desc: "TFC vs an ExpressPass-style receiver-driven credit transport on incast",
 		run: func(ctx context.Context, rc *runCtx) (any, string, error) {

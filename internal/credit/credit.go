@@ -228,9 +228,14 @@ func (s *Sender) Deliver(pkt *netsim.Packet) {
 }
 
 func (s *Sender) armRTO() {
-	d := s.est.RTO() << s.rtoBackoff
-	if d > s.cfg.MaxRTO {
+	// Clamp before shifting: the naive d << backoff overflows int64 for
+	// backoffs past ~32 and slips past a post-shift MaxRTO check (see the
+	// identical fix in internal/tcp).
+	d := s.est.RTO()
+	if d > s.cfg.MaxRTO>>s.rtoBackoff {
 		d = s.cfg.MaxRTO
+	} else {
+		d <<= s.rtoBackoff
 	}
 	s.rto.Arm(d)
 }

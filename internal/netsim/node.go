@@ -133,6 +133,12 @@ type Host struct {
 	// observe the queueing-free RTT (paper §4.5 discusses exactly this).
 	ProcJitter sim.Time
 	procFree   sim.Time
+
+	// Pause state (fault injection): while paused the host's delivery
+	// path stalls and arrivals are buffered in order, modelling a host
+	// hiccup (GC pause, interrupt storm, VM steal time).
+	paused bool
+	held   []*Packet
 }
 
 // NIC returns the host's single transmit port (nil before it is wired).
@@ -193,9 +199,41 @@ func (h *Host) Unregister(id FlowID) { delete(h.endpoints, id) }
 // Endpoint returns the endpoint bound to id, if any.
 func (h *Host) Endpoint(id FlowID) Endpoint { return h.endpoints[id] }
 
+// Paused reports whether the host's delivery path is stalled.
+func (h *Host) Paused() bool { return h.paused }
+
+// SetPaused stalls (true) or resumes (false) the host's delivery path.
+// Buffered arrivals are delivered in arrival order at resume time, so a
+// pause appears to peers as a burst of delayed ACKs — the hiccup the
+// fault injector uses to stress RTO and rtt_b estimation.
+func (h *Host) SetPaused(paused bool) {
+	if h.paused == paused {
+		return
+	}
+	h.paused = paused
+	if paused {
+		return
+	}
+	held := h.held
+	h.held = nil
+	for i, pkt := range held {
+		held[i] = nil
+		h.deliver(pkt)
+	}
+}
+
 // Receive demultiplexes to the flow endpoint, invoking the Listener for an
-// unknown SYN.
+// unknown SYN. A paused host buffers the packet (retaining ownership)
+// until resume.
 func (h *Host) Receive(pkt *Packet, from *Port) {
+	if h.paused {
+		h.held = append(h.held, pkt)
+		return
+	}
+	h.deliver(pkt)
+}
+
+func (h *Host) deliver(pkt *Packet) {
 	ep, ok := h.endpoints[pkt.Flow]
 	if !ok {
 		if pkt.Flags&FlagSYN != 0 && pkt.Flags&FlagACK == 0 && h.Listener != nil {

@@ -1,6 +1,10 @@
 package netsim
 
-import "tfcsim/internal/sim"
+import (
+	"math/rand"
+
+	"tfcsim/internal/sim"
+)
 
 // PortHook observes and optionally modifies packets entering a port's
 // output queue. DCTCP's ECN marker and TFC's per-port token logic are
@@ -10,6 +14,22 @@ type PortHook interface {
 	// admission check, mirroring hardware that counts arrivals at the
 	// port). It may modify pkt in place. Returning false drops the packet.
 	OnEnqueue(pkt *Packet, port *Port) bool
+}
+
+// RateObserver is implemented by PortHooks that cache the port's link
+// rate (TFC's token computation does). SetRate notifies the hook so a
+// mid-run rate degradation reaches the cached value.
+type RateObserver interface {
+	OnRateChange(port *Port)
+}
+
+// LossModel decides per-packet wire loss, generalizing the uniform
+// LossRate to stateful models (e.g. Gilbert–Elliott bursty loss, package
+// faults). Implementations draw randomness only from r — the simulation's
+// deterministic per-trial source — so injected loss is a pure function of
+// the trial seed.
+type LossModel interface {
+	Lose(r *rand.Rand) bool
 }
 
 // Port is a unidirectional transmit port: a drop-tail FIFO feeding a link
@@ -31,6 +51,9 @@ type Port struct {
 	// LossRate, if positive, drops each arriving packet with this
 	// probability (failure injection for tests and experiments).
 	LossRate float64
+	// LossModel, if non-nil, supersedes LossRate with a stateful
+	// per-packet loss decision (e.g. bursty Gilbert–Elliott loss).
+	LossModel LossModel
 
 	// The FIFO is a power-of-two ring buffer: O(1) dequeue regardless of
 	// backlog, where a slice-shift FIFO degenerates to O(n²) total work in
@@ -40,6 +63,12 @@ type Port struct {
 	qLen   int
 	qBytes int
 	busy   bool
+	// Link failure state machine (fault injection): while down, arriving
+	// packets are dropped at the wire. cutTx marks a frame that was mid-
+	// serialization when the link went down — it is lost even if the link
+	// comes back before its serialization completes.
+	down  bool
+	cutTx bool
 
 	// Statistics.
 	Drops      int64
@@ -62,6 +91,52 @@ func (p *Port) QueueLen() int { return p.qLen }
 
 // Busy reports whether the port is currently serializing a frame.
 func (p *Port) Busy() bool { return p.busy }
+
+// Down reports whether the link is currently failed.
+func (p *Port) Down() bool { return p.down }
+
+// SetDown fails the link: subsequent Enqueues drop at the wire, and a
+// frame mid-serialization is lost. With flush, the queued backlog is
+// dropped too (a rebooting line card); without it the queue is preserved
+// and drains when the link comes back (a pulled-and-replugged cable).
+// Packets already past serialization keep propagating — at data-center
+// delays they are off the cable within microseconds of the cut.
+func (p *Port) SetDown(flush bool) {
+	if p.down {
+		return
+	}
+	p.down = true
+	p.cutTx = p.busy
+	if flush {
+		for p.qLen > 0 {
+			pkt := p.popQ()
+			p.qBytes -= pkt.FrameBytes()
+			p.drop(pkt)
+		}
+	}
+}
+
+// SetUp restores a failed link; a preserved backlog resumes transmission
+// immediately.
+func (p *Port) SetUp() {
+	if !p.down {
+		return
+	}
+	p.down = false
+	if !p.busy && p.qLen > 0 {
+		p.startTx()
+	}
+}
+
+// SetRate changes the link rate mid-run (fault injection: an autoneg
+// downshift or a degraded optic). It takes effect at the next frame
+// serialization; a hook caching the rate is notified via RateObserver.
+func (p *Port) SetRate(r Rate) {
+	p.Rate = r
+	if ro, ok := p.Hook.(RateObserver); ok {
+		ro.OnRateChange(p)
+	}
+}
 
 // Network returns the network the port belongs to (interceptors use it to
 // release packets they took ownership of and then discard).
@@ -105,16 +180,29 @@ func (p *Port) drop(pkt *Packet) {
 	p.net.ReleasePacket(pkt)
 }
 
-// Enqueue admits a packet to the port. The hook runs first; then drop-tail
-// admission; then the packet joins the FIFO and transmission starts if the
-// line is idle.
+// Enqueue admits a packet to the port. Wire-level failure injection (link
+// down, loss model) runs first: it models the cable, so a lost packet must
+// never reach the hook — TFC's arrival counter and DCTCP's ECN marker
+// count what the port actually receives, and counting packets the wire
+// then discards would skew rho and marked-fraction measurements under
+// injected loss. Then the hook; then drop-tail admission; then the packet
+// joins the FIFO and transmission starts if the line is idle.
 func (p *Port) Enqueue(pkt *Packet) {
 	p.EnqPackets++
-	if p.Hook != nil && !p.Hook.OnEnqueue(pkt, p) {
+	if p.down {
 		p.drop(pkt)
 		return
 	}
-	if p.LossRate > 0 && p.sim.Rand.Float64() < p.LossRate {
+	if p.LossModel != nil {
+		if p.LossModel.Lose(p.sim.Rand) {
+			p.drop(pkt)
+			return
+		}
+	} else if p.LossRate > 0 && p.sim.Rand.Float64() < p.LossRate {
+		p.drop(pkt)
+		return
+	}
+	if p.Hook != nil && !p.Hook.OnEnqueue(pkt, p) {
 		p.drop(pkt)
 		return
 	}
@@ -147,6 +235,17 @@ func (p *Port) startTx() {
 
 // finishTx runs when the frame has fully serialized onto the link.
 func (p *Port) finishTx(pkt *Packet) {
+	if p.cutTx {
+		// The link went down while this frame was on the wire: the frame
+		// is lost regardless of whether the link has since come back.
+		p.cutTx = false
+		p.busy = false
+		p.drop(pkt)
+		if !p.down && p.qLen > 0 {
+			p.startTx()
+		}
+		return
+	}
 	p.TxPackets++
 	p.TxFrames += int64(pkt.FrameBytes())
 	p.net.trace(TraceTx, p.Label, pkt)

@@ -1,0 +1,64 @@
+package tcp
+
+// Regression tests for the RTO exponential-backoff overflow: the original
+// armRTO computed est.RTO() << rtoBackoff and clamped afterwards, so once
+// enough consecutive timeouts accumulated the int64 shift wrapped negative
+// (or to zero) and slipped past the MaxRTO check, arming a garbage RTO.
+// A long link blackout is exactly the path that accumulates that backoff.
+
+import (
+	"testing"
+
+	"tfcsim/internal/sim"
+)
+
+func TestArmRTOBackoffCapped(t *testing.T) {
+	h := newHarness(t)
+	h.establish()
+	now := h.s.Now()
+	maxRTO := h.snd.cfg.MaxRTO
+	for _, b := range []uint{0, 1, 5, 20, 31, 32, 33, 40, 63, 64, 100} {
+		h.snd.rtoBackoff = b
+		h.snd.armRTO()
+		d := h.snd.rto.Deadline() - now
+		if d <= 0 {
+			t.Fatalf("backoff %d armed a non-positive RTO %v (shift overflow)", b, d)
+		}
+		if d > maxRTO {
+			t.Fatalf("backoff %d armed RTO %v past MaxRTO %v", b, d, maxRTO)
+		}
+	}
+	// Below the cap the backoff still doubles per step.
+	h.snd.rtoBackoff = 0
+	h.snd.armRTO()
+	d0 := h.snd.rto.Deadline() - now
+	h.snd.rtoBackoff = 3
+	h.snd.armRTO()
+	if d3 := h.snd.rto.Deadline() - now; d3 != d0<<3 {
+		t.Fatalf("backoff 3 armed %v, want %v (8x the base RTO)", d3, d0<<3)
+	}
+	h.snd.rtoBackoff = 0
+}
+
+func TestRTOSurvivesLongBlackout(t *testing.T) {
+	// Establish, then blackhole every transmission (the swallow endpoint
+	// already eats them and no ACKs come back) and run long enough for
+	// dozens of consecutive timeouts. The sender must keep firing RTOs at
+	// a bounded cadence — with the overflow, the timer eventually arms at
+	// a wrapped deadline and retransmission stalls or spins.
+	h := newHarness(t, func(c *Config) {
+		c.MinRTO = sim.Millisecond
+		c.MaxRTO = 4 * sim.Millisecond
+	})
+	h.establish()
+	h.snd.Send(1 << 20)
+	h.s.RunUntil(h.s.Now() + 400*sim.Millisecond)
+	// 400ms at <= 4ms per backoff step admits ~100 timeouts; require well
+	// past the 32/64 shift-overflow thresholds.
+	if n := h.snd.Stats().Timeouts; n < 80 {
+		t.Fatalf("only %d timeouts in a 400ms blackout; RTO clock stalled", n)
+	}
+	if d := h.snd.rto.Deadline() - h.s.Now(); d <= 0 || d > 4*sim.Millisecond {
+		t.Fatalf("pending RTO %v after blackout, want in (0, MaxRTO]", d)
+	}
+}

@@ -252,9 +252,16 @@ func (s *Sender) retransmit(seq int64) {
 }
 
 func (s *Sender) armRTO() {
-	d := s.est.RTO() << s.rtoBackoff
-	if d > s.cfg.MaxRTO {
+	// Clamp before shifting: d << backoff overflows int64 once backoff
+	// grows past ~32 (a long blackout), wrapping negative or to zero and
+	// slipping past a post-shift MaxRTO check. d > MaxRTO>>b is exactly
+	// d<<b > MaxRTO for the non-overflowing range (Go shifts >= 64 of a
+	// positive int64 yield 0, so huge backoffs clamp too).
+	d := s.est.RTO()
+	if d > s.cfg.MaxRTO>>s.rtoBackoff {
 		d = s.cfg.MaxRTO
+	} else {
+		d <<= s.rtoBackoff
 	}
 	s.rto.Arm(d)
 }

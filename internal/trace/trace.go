@@ -26,8 +26,11 @@ func WriteTimeSeries(w io.Writer, header string, ts *stats.TimeSeries) error {
 	return nil
 }
 
-// WriteMultiSeries writes aligned series sharing timestamps taken from the
-// first series; shorter series pad with empty cells.
+// WriteMultiSeries writes aligned series: every row's timestamp comes
+// from the longest series, so no row ever has an empty time_us cell;
+// shorter series pad their value cells. The series must genuinely share a
+// time base — a series whose timestamp at some row disagrees with the
+// longest series' is an error, not silently mislabeled data.
 func WriteMultiSeries(w io.Writer, names []string, series []*stats.TimeSeries) error {
 	if len(names) != len(series) {
 		return fmt.Errorf("trace: %d names for %d series", len(names), len(series))
@@ -38,17 +41,23 @@ func WriteMultiSeries(w io.Writer, names []string, series []*stats.TimeSeries) e
 	if len(series) == 0 {
 		return nil
 	}
-	n := 0
-	for _, s := range series {
-		if s.N() > n {
-			n = s.N()
+	ref := series[0]
+	for _, s := range series[1:] {
+		if s.N() > ref.N() {
+			ref = s
 		}
 	}
-	for i := 0; i < n; i++ {
-		var b strings.Builder
-		if i < series[0].N() {
-			fmt.Fprintf(&b, "%.3f", series[0].T[i].Micros())
+	for j, s := range series {
+		for i := 0; i < s.N(); i++ {
+			if s.T[i] != ref.T[i] {
+				return fmt.Errorf("trace: series %q timestamp %v at row %d diverges from %v",
+					names[j], s.T[i], i, ref.T[i])
+			}
 		}
+	}
+	for i := 0; i < ref.N(); i++ {
+		var b strings.Builder
+		fmt.Fprintf(&b, "%.3f", ref.T[i].Micros())
 		for _, s := range series {
 			b.WriteByte(',')
 			if i < s.N() {

@@ -46,6 +46,40 @@ func TestWriteMultiSeries(t *testing.T) {
 	}
 }
 
+func TestWriteMultiSeriesLongestTimestamps(t *testing.T) {
+	// Timestamps come from the longest series even when it is not the
+	// first: no row may have an empty time_us cell.
+	var short, long stats.TimeSeries
+	short.Add(sim.Microsecond, 1)
+	long.Add(sim.Microsecond, 10)
+	long.Add(2*sim.Microsecond, 20)
+	long.Add(3*sim.Microsecond, 30)
+	var b strings.Builder
+	if err := WriteMultiSeries(&b, []string{"f1", "f2"}, []*stats.TimeSeries{&short, &long}); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %v", lines)
+	}
+	if lines[2] != "2.000,,20" || lines[3] != "3.000,,30" {
+		t.Fatalf("rows past series[0] lost their timestamps: %q, %q", lines[2], lines[3])
+	}
+}
+
+func TestWriteMultiSeriesDivergentTimestamps(t *testing.T) {
+	var a, c stats.TimeSeries
+	a.Add(sim.Microsecond, 1)
+	a.Add(2*sim.Microsecond, 2)
+	c.Add(sim.Microsecond, 10)
+	c.Add(5*sim.Microsecond, 50) // not the shared time base
+	var b strings.Builder
+	err := WriteMultiSeries(&b, []string{"f1", "f2"}, []*stats.TimeSeries{&a, &c})
+	if err == nil {
+		t.Fatal("expected error on divergent timestamps")
+	}
+}
+
 func TestWriteMultiSeriesMismatch(t *testing.T) {
 	var b strings.Builder
 	if err := WriteMultiSeries(&b, []string{"a"}, nil); err == nil {

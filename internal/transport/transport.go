@@ -209,6 +209,10 @@ func NewRTOTimer(s *sim.Simulator, fn func()) *RTOTimer {
 	return &RTOTimer{s: s, fn: fn}
 }
 
+// Deadline returns the currently armed deadline (meaningful only while
+// the timer is armed). Tests use it to check the arming arithmetic.
+func (t *RTOTimer) Deadline() sim.Time { return t.deadline }
+
 // Arm (re)sets the timer to fire d from now.
 func (t *RTOTimer) Arm(d sim.Time) {
 	t.deadline = t.s.Now() + d
