@@ -1,0 +1,172 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"runtime"
+
+	"tfcsim/internal/analysis"
+)
+
+// vetConfig is the JSON the go command writes for each package when
+// invoking a -vettool — the golang.org/x/tools unitchecker wire format.
+// Fields we do not consume (facts plumbing, IgnoredFiles, module info)
+// are listed anyway so the struct documents the full protocol.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// unitcheckerRun analyzes the single package described by cfgFile and
+// returns the process exit code (0 clean, 1 error, 2 diagnostics).
+func unitcheckerRun(cfgFile string) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tfcvet: %v\n", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "tfcvet: parsing %s: %v\n", cfgFile, err)
+		return 1
+	}
+
+	// The go command expects the facts file to exist even though the
+	// tfcvet analyzers exchange no facts.
+	writeVetx := func() bool {
+		if cfg.VetxOutput == "" {
+			return true
+		}
+		if err := os.WriteFile(cfg.VetxOutput, []byte("tfcvet: no facts\n"), 0o666); err != nil {
+			fmt.Fprintf(os.Stderr, "tfcvet: %v\n", err)
+			return false
+		}
+		return true
+	}
+	if cfg.VetxOnly {
+		// Dependency-only visit: facts would be computed here; we have
+		// none, so just satisfy the protocol.
+		if !writeVetx() {
+			return 1
+		}
+		return 0
+	}
+
+	pkg, err := typecheckUnit(&cfg)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			// The compiler will report the problem with a better message.
+			writeVetx()
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "tfcvet: %v\n", err)
+		return 1
+	}
+	diags, err := analysis.Check(pkg, analysis.All())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tfcvet: %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+	if !writeVetx() {
+		return 1
+	}
+	if len(diags) > 0 {
+		printDiags(pkg, diags)
+		return 2
+	}
+	return 0
+}
+
+// typecheckUnit parses cfg.GoFiles and type-checks them against the gc
+// export data the go command supplied in cfg.PackageFile.
+func typecheckUnit(cfg *vetConfig) (*analysis.Package, error) {
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	gc := importer.ForCompiler(fset, compilerOr(cfg.Compiler), func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(importPath string) (*types.Package, error) {
+		if mapped, ok := cfg.ImportMap[importPath]; ok {
+			importPath = mapped
+		}
+		if importPath == "unsafe" {
+			return types.Unsafe, nil
+		}
+		return gc.Import(importPath)
+	})
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	tconf := &types.Config{
+		Importer:  imp,
+		GoVersion: cfg.GoVersion,
+		Sizes:     types.SizesFor(compilerOr(cfg.Compiler), goarch()),
+	}
+	tpkg, err := tconf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	return &analysis.Package{
+		Path:      cfg.ImportPath,
+		Fset:      fset,
+		Files:     files,
+		Types:     tpkg,
+		TypesInfo: info,
+	}, nil
+}
+
+func compilerOr(c string) string {
+	if c == "" {
+		return "gc"
+	}
+	return c
+}
+
+func goarch() string {
+	if a := os.Getenv("GOARCH"); a != "" {
+		return a
+	}
+	return runtime.GOARCH
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

@@ -143,12 +143,12 @@ func (e Experiment) Run(ctx context.Context, opts RunOptions) (*Result, error) {
 		},
 	}
 	rc := &runCtx{scale: opts.Scale, seed: opts.Seed, csvDir: opts.CSVDir, pool: pool}
-	start := time.Now()
+	start := time.Now() //tfcvet:allow wallclock — Result.Wall reports real elapsed time; it never feeds simulation state or CSV data
 	data, text, err := e.run(ctx, rc)
 	if err != nil {
 		return nil, fmt.Errorf("tfcsim: %s: %w", e.Name, err)
 	}
-	res.Wall = time.Since(start)
+	res.Wall = time.Since(start) //tfcvet:allow wallclock — Result.Wall reports real elapsed time; it never feeds simulation state or CSV data
 	res.Data = data
 	res.Text = text
 	sort.SliceStable(res.Trials, func(i, j int) bool {

@@ -1,0 +1,132 @@
+// Package analysistest runs one tfcvet analyzer over fixture packages
+// under testdata/src and checks its diagnostics against `// want`
+// expectations, mirroring golang.org/x/tools/go/analysis/analysistest
+// closely enough that the fixtures would port unchanged.
+//
+// Grammar: a fixture line that should trigger N diagnostics carries a
+// trailing comment
+//
+//	code() // want "regexp1" "regexp2"
+//
+// where each quoted string is a regular expression that must match the
+// diagnostic's message. Every diagnostic must be wanted and every want
+// must be matched, position-exact to the line. //tfcvet:allow
+// directives are honored by the checker, so fixtures can (and do) prove
+// the suppression path too.
+package analysistest
+
+import (
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"tfcsim/internal/analysis"
+	"tfcsim/internal/analysis/loader"
+)
+
+// TestData returns the absolute path of the calling test's testdata
+// directory.
+func TestData() string {
+	dir, err := filepath.Abs("testdata")
+	if err != nil {
+		panic(err)
+	}
+	return dir
+}
+
+// expectation is one `// want` regexp awaiting a diagnostic.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// Run loads each fixture package from <testdata>/src/<path>, runs the
+// analyzer through the shared checker, and reports any mismatch between
+// diagnostics and // want expectations as test errors.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, paths ...string) {
+	t.Helper()
+	ld := loader.New(loader.Config{
+		SrcRoots: []string{filepath.Join(testdata, "src")},
+	})
+	for _, path := range paths {
+		pkg, err := ld.Load(path)
+		if err != nil {
+			t.Errorf("loading fixture %s: %v", path, err)
+			continue
+		}
+		diags, err := analysis.Check(pkg, []*analysis.Analyzer{a})
+		if err != nil {
+			t.Errorf("checking fixture %s: %v", path, err)
+			continue
+		}
+		checkExpectations(t, pkg, diags)
+	}
+}
+
+// wantRE matches a want clause either as the whole comment
+// (`// want "..."`) or appended to another comment — notably a
+// directive-fixture line like `//tfcvet:allow x // want "malformed"`.
+var wantRE = regexp.MustCompile(`(?:^//\s*|// ?)want((?:\s+"(?:[^"\\]|\\.)*")+)\s*$`)
+var wantStrRE = regexp.MustCompile(`"(?:[^"\\]|\\.)*"`)
+
+func checkExpectations(t *testing.T, pkg *analysis.Package, diags []analysis.Diagnostic) {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimRight(c.Text, " \t")
+				if !strings.HasPrefix(text, "//") {
+					continue
+				}
+				m := wantRE.FindStringSubmatch(text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, q := range wantStrRE.FindAllString(m[1], -1) {
+					pat, err := strconv.Unquote(q)
+					if err != nil {
+						t.Errorf("%s: bad want string %s: %v", pos, q, err)
+						continue
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Errorf("%s: bad want regexp %q: %v", pos, pat, err)
+						continue
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		if !claim(wants, pos, d.Message) {
+			t.Errorf("%s: unexpected diagnostic [%s]: %s", pos, d.Check, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.re)
+		}
+	}
+}
+
+// claim marks the first unmatched expectation at the diagnostic's line
+// whose regexp matches.
+func claim(wants []*expectation, pos token.Position, msg string) bool {
+	for _, w := range wants {
+		if !w.matched && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(msg) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}

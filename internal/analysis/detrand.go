@@ -1,0 +1,91 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// Detrand flags sources of nondeterminism: wall-clock reads, process
+// identity, and the process-global math/rand generators. Every trial in
+// this repository must be a pure function of its seed — all randomness
+// flows from the per-trial *sim.Simulator.Rand (or an explicitly passed
+// *rand.Rand), and time flows from the simulator clock. A wall-clock
+// call anywhere in simulation code silently breaks byte-identical
+// output across -j levels and reruns.
+//
+// Constructing a local generator (rand.New, rand.NewSource, rand.NewZipf)
+// is fine — that is exactly how seeded randomness is supposed to enter —
+// only the shared top-level generator and wall-clock entry points are
+// flagged. Legitimate uses (e.g. the runner timing real trial wall time
+// for Metrics.Wall) carry a //tfcvet:allow detrand — <reason> directive.
+var Detrand = &Analyzer{
+	Name: "detrand",
+	Doc:  "flag wall-clock, process-identity, and global math/rand use that breaks per-seed trial determinism",
+	Run:  runDetrand,
+}
+
+// detrandBanned maps package path → member name → short explanation.
+var detrandBanned = map[string]map[string]string{
+	"time": {
+		"Now":   "reads the wall clock",
+		"Since": "reads the wall clock",
+		"Until": "reads the wall clock",
+	},
+	"os": {
+		"Getpid": "depends on process identity",
+	},
+	"math/rand":    globalRandFuncs,
+	"math/rand/v2": globalRandV2Funcs,
+}
+
+// globalRandFuncs are the math/rand package-level functions that draw
+// from the shared global source (seeded from runtime entropy since
+// go1.20). rand.New/NewSource/NewZipf construct explicit generators and
+// are allowed.
+var globalRandFuncs = func() map[string]string {
+	m := make(map[string]string)
+	for _, name := range []string{
+		"Int", "Intn", "Int31", "Int31n", "Int63", "Int63n",
+		"Uint32", "Uint64", "Float32", "Float64",
+		"ExpFloat64", "NormFloat64", "Perm", "Shuffle", "Read", "Seed",
+	} {
+		m[name] = "draws from the process-global math/rand source"
+	}
+	return m
+}()
+
+var globalRandV2Funcs = func() map[string]string {
+	m := make(map[string]string)
+	for _, name := range []string{
+		"Int", "IntN", "Int32", "Int32N", "Int64", "Int64N",
+		"Uint", "UintN", "Uint32", "Uint32N", "Uint64", "Uint64N",
+		"Float32", "Float64", "ExpFloat64", "NormFloat64",
+		"Perm", "Shuffle", "N",
+	} {
+		m[name] = "draws from the process-global math/rand/v2 source"
+	}
+	return m
+}()
+
+func runDetrand(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, isSel := n.(*ast.SelectorExpr)
+			if !isSel {
+				return true
+			}
+			path, name, isQualified := pkgPathOf(pass.TypesInfo, sel)
+			if !isQualified {
+				return true
+			}
+			why, banned := detrandBanned[path][name]
+			if !banned {
+				return true
+			}
+			pass.Reportf(sel.Pos(),
+				"%s.%s %s and breaks per-seed determinism; use the per-trial seeded source (sim.Simulator.Rand / the simulator clock) or annotate `//tfcvet:allow detrand — <reason>`",
+				sel.X.(*ast.Ident).Name, name, why)
+			return true
+		})
+	}
+	return nil
+}

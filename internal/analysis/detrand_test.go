@@ -1,0 +1,15 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"tfcsim/internal/analysis"
+	"tfcsim/internal/analysis/analysistest"
+)
+
+// TestDetrand proves the detrand analyzer catches wall-clock reads,
+// process identity, and global math/rand draws, while letting
+// explicitly seeded generators and annotated sites through.
+func TestDetrand(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), analysis.Detrand, "detrand")
+}

@@ -1,0 +1,149 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strconv"
+	"strings"
+)
+
+// directivePrefix introduces a suppression comment. The full grammar is
+//
+//	//tfcvet:allow <check>[,<check>...] — <one-line justification>
+//
+// where <check> is an analyzer name (detrand, simtime, mapiter,
+// poolsafe) or a documented alias, and the justification is mandatory.
+// The separator may be an em-dash (—), "--", or a colon. A directive
+// suppresses matching diagnostics reported on its own line, or — when it
+// stands alone on a line — on the line directly below it.
+const directivePrefix = "//tfcvet:allow"
+
+// directiveAliases maps historical/readable check spellings to analyzer
+// names. "wallclock" reads better than "detrand" at a wall-clock call
+// site, so both are accepted.
+var directiveAliases = map[string]string{
+	"wallclock": "detrand",
+}
+
+// directiveIndex records, per file line, which checks are suppressed,
+// plus diagnostics for malformed directives.
+type directiveIndex struct {
+	fset *token.FileSet
+	// allowed[line] is the set of suppressed check names effective on
+	// that line.
+	allowed map[int]map[string]bool
+	bad     []Diagnostic
+}
+
+// parseDirectives scans the comments of files for //tfcvet:allow
+// directives. known is the set of valid check names.
+func parseDirectives(fset *token.FileSet, files []*ast.File, known map[string]bool) *directiveIndex {
+	idx := &directiveIndex{fset: fset, allowed: make(map[int]map[string]bool)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, directivePrefix) {
+					continue
+				}
+				idx.add(fset, f, c, known)
+			}
+		}
+	}
+	return idx
+}
+
+func (idx *directiveIndex) add(fset *token.FileSet, f *ast.File, c *ast.Comment, known map[string]bool) {
+	rest := strings.TrimPrefix(c.Text, directivePrefix)
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		// e.g. //tfcvet:allowance — not our directive.
+		return
+	}
+	checksPart, reason, ok := splitDirective(rest)
+	if !ok || strings.TrimSpace(reason) == "" {
+		idx.bad = append(idx.bad, Diagnostic{
+			Pos:     c.Pos(),
+			Check:   "directive",
+			Message: "malformed //tfcvet:allow directive: want \"//tfcvet:allow <check>[,<check>] — <justification>\" (the justification is mandatory)",
+		})
+		return
+	}
+	checks := make(map[string]bool)
+	for _, name := range strings.Split(checksPart, ",") {
+		name = strings.TrimSpace(name)
+		if alias, isAlias := directiveAliases[name]; isAlias {
+			name = alias
+		}
+		if !known[name] {
+			idx.bad = append(idx.bad, Diagnostic{
+				Pos:     c.Pos(),
+				Check:   "directive",
+				Message: "//tfcvet:allow names unknown check " + strconv.Quote(name),
+			})
+			return
+		}
+		checks[name] = true
+	}
+
+	// The directive covers its own line when it trails code, otherwise
+	// the next line.
+	pos := fset.Position(c.Pos())
+	line := pos.Line
+	if standsAlone(fset, f, c) {
+		line++
+	}
+	set := idx.allowed[line]
+	if set == nil {
+		set = make(map[string]bool)
+		idx.allowed[line] = set
+	}
+	for name := range checks {
+		set[name] = true
+	}
+}
+
+// splitDirective separates "<checks> — <reason>" accepting "—", "--",
+// or ":" as the separator.
+func splitDirective(s string) (checks, reason string, ok bool) {
+	s = strings.TrimSpace(s)
+	for _, sep := range []string{"—", "--", ":"} {
+		if i := strings.Index(s, sep); i >= 0 {
+			return strings.TrimSpace(s[:i]), strings.TrimSpace(s[i+len(sep):]), true
+		}
+	}
+	return "", "", false
+}
+
+// standsAlone reports whether the comment is the first token on its
+// line (so it annotates the line below rather than its own).
+func standsAlone(fset *token.FileSet, f *ast.File, c *ast.Comment) bool {
+	line := fset.Position(c.Pos()).Line
+	alone := true
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil || !alone {
+			return false
+		}
+		if _, isComment := n.(*ast.Comment); isComment {
+			return true
+		}
+		if _, isGroup := n.(*ast.CommentGroup); isGroup {
+			return true
+		}
+		// Any non-comment node that starts on the same line before the
+		// comment means the directive trails code.
+		if fset.Position(n.Pos()).Line == line && n.Pos() < c.Pos() {
+			if _, isFile := n.(*ast.File); !isFile {
+				alone = false
+				return false
+			}
+		}
+		return true
+	})
+	return alone
+}
+
+// suppressed reports whether a diagnostic of the given check at pos is
+// covered by an allow directive.
+func (idx *directiveIndex) suppressed(check string, pos token.Pos) bool {
+	set := idx.allowed[idx.fset.Position(pos).Line]
+	return set[check]
+}

@@ -1,0 +1,16 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"tfcsim/internal/analysis"
+	"tfcsim/internal/analysis/analysistest"
+)
+
+// TestAllowDirective proves the //tfcvet:allow grammar end to end:
+// well-formed directives (em-dash and double-dash separators, trailing
+// and standalone placement, the wallclock alias) suppress findings;
+// reason-less or unknown-check directives are findings themselves.
+func TestAllowDirective(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), analysis.Detrand, "directive")
+}

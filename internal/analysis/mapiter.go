@@ -1,0 +1,337 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Mapiter flags `for … range m` over a map where the iteration order —
+// which Go randomizes on purpose — escapes into experiment output: the
+// loop body writes to an output sink (fmt printing, io/csv/trace
+// writers) using the key or value, or appends key/value-derived
+// elements to a slice that the function returns without sorting. This
+// is the bug class that silently breaks byte-identical CSVs across -j
+// levels: everything type-checks, every individual line is right, and
+// the file diff only shows up on a rerun.
+//
+// The approved pattern is to collect keys, sort them, and range over
+// the sorted slice; a collect-then-sort loop is recognized and not
+// flagged.
+var Mapiter = &Analyzer{
+	Name: "mapiter",
+	Doc:  "flag map iteration whose nondeterministic order escapes into output or returned slices",
+	Run:  runMapiter,
+}
+
+// mapiterSinkMethods are method names treated as output sinks
+// regardless of receiver type — writers in the io/bufio/csv/json mould.
+var mapiterSinkMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"WriteAll": true, "WriteRow": true, "Encode": true,
+	"Print": true, "Printf": true, "Println": true,
+}
+
+// mapiterSinkPkgs are packages whose functions count as output sinks
+// wholesale (the repo's trace emission layer).
+var mapiterSinkPkgs = map[string]bool{
+	"tfcsim/internal/trace": true,
+}
+
+func runMapiter(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			var ftype *ast.FuncType
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body, ftype = fn.Body, fn.Type
+			case *ast.FuncLit:
+				body, ftype = fn.Body, fn.Type
+			default:
+				return true
+			}
+			if body != nil {
+				checkMapIterFunc(pass, ftype, body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkMapIterFunc examines one function body (not descending into
+// nested function literals, which are visited on their own).
+func checkMapIterFunc(pass *Pass, ftype *ast.FuncType, body *ast.BlockStmt) {
+	shallowInspect(body, func(n ast.Node) {
+		rs, isRange := n.(*ast.RangeStmt)
+		if !isRange {
+			return
+		}
+		t := pass.TypesInfo.TypeOf(rs.X)
+		if t == nil {
+			return
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return
+		}
+		iterVars := rangeVars(pass, rs)
+		if len(iterVars) == 0 {
+			return // `for range m`: the body cannot observe order
+		}
+		checkMapRange(pass, rs, iterVars, ftype, body)
+	})
+}
+
+// shallowInspect walks n without descending into nested function
+// literals.
+func shallowInspect(n ast.Node, f func(ast.Node)) {
+	ast.Inspect(n, func(c ast.Node) bool {
+		if c == nil {
+			return false
+		}
+		if _, isLit := c.(*ast.FuncLit); isLit && c != n {
+			return false
+		}
+		f(c)
+		return true
+	})
+}
+
+// rangeVars returns the objects bound to the range's key/value.
+func rangeVars(pass *Pass, rs *ast.RangeStmt) []*types.Var {
+	var vars []*types.Var
+	for _, e := range []ast.Expr{rs.Key, rs.Value} {
+		id, isIdent := e.(*ast.Ident)
+		if !isIdent || id.Name == "_" {
+			continue
+		}
+		obj := pass.TypesInfo.Defs[id]
+		if obj == nil {
+			obj = pass.TypesInfo.Uses[id]
+		}
+		if v, isVar := obj.(*types.Var); isVar {
+			vars = append(vars, v)
+		}
+	}
+	return vars
+}
+
+func checkMapRange(pass *Pass, rs *ast.RangeStmt, iterVars []*types.Var, ftype *ast.FuncType, funcBody *ast.BlockStmt) {
+	usesIterVar := func(n ast.Node) bool {
+		found := false
+		ast.Inspect(n, func(c ast.Node) bool {
+			id, isIdent := c.(*ast.Ident)
+			if !isIdent {
+				return true
+			}
+			if obj, isVar := pass.TypesInfo.Uses[id].(*types.Var); isVar {
+				for _, v := range iterVars {
+					if obj == v {
+						found = true
+					}
+				}
+			}
+			return !found
+		})
+		return found
+	}
+	if !usesIterVar(rs.Body) {
+		return
+	}
+
+	// Case 1: the body feeds an output sink.
+	var sink *ast.CallExpr
+	shallowInspect(rs.Body, func(n ast.Node) {
+		call, isCall := n.(*ast.CallExpr)
+		if sink != nil || !isCall {
+			return
+		}
+		if isOutputSink(pass, call) {
+			sink = call
+		}
+	})
+	if sink != nil {
+		pass.Reportf(rs.For,
+			"map iteration order feeds output (%s); emit from a sorted key slice so results are byte-identical across runs",
+			callName(sink))
+		return
+	}
+
+	// Case 2: the body appends key/value-derived elements to an outer
+	// slice that is returned without ever being sorted.
+	shallowInspect(rs.Body, func(n ast.Node) {
+		asg, isAssign := n.(*ast.AssignStmt)
+		if !isAssign || len(asg.Lhs) != 1 || len(asg.Rhs) != 1 {
+			return
+		}
+		lhs, isIdent := asg.Lhs[0].(*ast.Ident)
+		if !isIdent {
+			return
+		}
+		call, isCall := asg.Rhs[0].(*ast.CallExpr)
+		if !isCall || !isBuiltinAppend(pass, call) || len(call.Args) < 2 {
+			return
+		}
+		target, isVar := pass.TypesInfo.Uses[lhs].(*types.Var)
+		if !isVar {
+			return
+		}
+		elems := false
+		for _, arg := range call.Args[1:] {
+			if usesIterVar(arg) {
+				elems = true
+			}
+		}
+		if !elems {
+			return
+		}
+		if varSortedIn(pass, funcBody, target) {
+			return
+		}
+		if varReturnedFrom(pass, ftype, funcBody, target) {
+			pass.Reportf(asg.Pos(),
+				"%s accumulates map-iteration results and is returned without sorting; its element order changes run to run",
+				lhs.Name)
+		}
+	})
+}
+
+// isOutputSink reports whether the call writes somewhere a human or a
+// results file can see.
+func isOutputSink(pass *Pass, call *ast.CallExpr) bool {
+	fn := calleeFunc(pass, call)
+	if fn == nil {
+		return false
+	}
+	if pkg := fn.Pkg(); pkg != nil {
+		if mapiterSinkPkgs[pkg.Path()] {
+			return true
+		}
+		if pkg.Path() == "fmt" &&
+			(strings.HasPrefix(fn.Name(), "Print") || strings.HasPrefix(fn.Name(), "Fprint")) {
+			return true
+		}
+	}
+	if sig, isSig := fn.Type().(*types.Signature); isSig && sig.Recv() != nil {
+		return mapiterSinkMethods[fn.Name()]
+	}
+	return false
+}
+
+// calleeFunc resolves the called function or method, if statically
+// known.
+func calleeFunc(pass *Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := pass.TypesInfo.Uses[id].(*types.Func)
+	return fn
+}
+
+func isBuiltinAppend(pass *Pass, call *ast.CallExpr) bool {
+	id, isIdent := ast.Unparen(call.Fun).(*ast.Ident)
+	if !isIdent {
+		return false
+	}
+	b, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin)
+	return isBuiltin && b.Name() == "append"
+}
+
+// varSortedIn reports whether v is passed to a sort.*/slices.Sort*
+// call anywhere in the function body (the collect-then-sort pattern).
+func varSortedIn(pass *Pass, body *ast.BlockStmt, v *types.Var) bool {
+	sorted := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, isCall := n.(*ast.CallExpr)
+		if !isCall || sorted {
+			return !sorted
+		}
+		fn := calleeFunc(pass, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		if p := fn.Pkg().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(c ast.Node) bool {
+				if id, isIdent := c.(*ast.Ident); isIdent && pass.TypesInfo.Uses[id] == v {
+					sorted = true
+				}
+				return !sorted
+			})
+		}
+		return !sorted
+	})
+	return sorted
+}
+
+// varReturnedFrom reports whether v escapes the function as (part of) a
+// return value — mentioned in a return statement, or a named result.
+func varReturnedFrom(pass *Pass, ftype *ast.FuncType, body *ast.BlockStmt, v *types.Var) bool {
+	if ftype.Results != nil {
+		for _, field := range ftype.Results.List {
+			for _, name := range field.Names {
+				if pass.TypesInfo.Defs[name] == v {
+					return true
+				}
+			}
+		}
+	}
+	returned := false
+	shallowInspect(body, func(n ast.Node) {
+		ret, isRet := n.(*ast.ReturnStmt)
+		if !isRet || returned {
+			return
+		}
+		for _, res := range ret.Results {
+			ast.Inspect(res, func(c ast.Node) bool {
+				if returned {
+					return false
+				}
+				// len(xs)/cap(xs) are order-independent; the slice
+				// itself does not escape through them.
+				if call, isCall := c.(*ast.CallExpr); isCall {
+					if b, isB := pass.TypesInfo.Uses[identOf(call.Fun)].(*types.Builtin); isB &&
+						(b.Name() == "len" || b.Name() == "cap") {
+						return false
+					}
+				}
+				if id, isIdent := c.(*ast.Ident); isIdent && pass.TypesInfo.Uses[id] == v {
+					returned = true
+				}
+				return !returned
+			})
+		}
+	})
+	return returned
+}
+
+// identOf returns the identifier of an expression if it is one (after
+// stripping parens), else nil.
+func identOf(e ast.Expr) *ast.Ident {
+	id, _ := ast.Unparen(e).(*ast.Ident)
+	return id
+}
+
+// callName renders a short name for diagnostics, e.g. "fmt.Fprintf" or
+// "w.Write".
+func callName(call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		if x, isIdent := fun.X.(*ast.Ident); isIdent {
+			return x.Name + "." + fun.Sel.Name
+		}
+		return fun.Sel.Name
+	}
+	return "call"
+}

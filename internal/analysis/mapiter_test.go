@@ -1,0 +1,15 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"tfcsim/internal/analysis"
+	"tfcsim/internal/analysis/analysistest"
+)
+
+// TestMapiter proves the mapiter analyzer flags map-iteration order
+// escaping into output or returned slices, and accepts the
+// collect-then-sort pattern and order-insensitive loops.
+func TestMapiter(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), analysis.Mapiter, "mapiter")
+}

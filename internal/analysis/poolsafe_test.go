@@ -1,0 +1,16 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"tfcsim/internal/analysis"
+	"tfcsim/internal/analysis/analysistest"
+)
+
+// TestPoolsafe proves the poolsafe analyzer catches use-after-release
+// and out-of-band retention of pooled packets (against a hermetic
+// netsim stub that shadows the real package path), while accepting
+// branch-local releases, reassignment, and annotated handoffs.
+func TestPoolsafe(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), analysis.Poolsafe, "poolsafe")
+}

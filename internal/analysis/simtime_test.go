@@ -1,0 +1,16 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"tfcsim/internal/analysis"
+	"tfcsim/internal/analysis/analysistest"
+)
+
+// TestSimtime proves the simtime analyzer forbids package time inside
+// the simulation boundary (the fixture shadows the real
+// tfcsim/internal/faults import path) and ignores packages outside it.
+func TestSimtime(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), analysis.Simtime,
+		"tfcsim/internal/faults", "simtime_outside")
+}

@@ -1,0 +1,41 @@
+// Package detrand is an analysistest fixture for the detrand analyzer:
+// wall-clock, process-identity, and global math/rand uses must be
+// flagged; explicitly seeded generators and annotated sites must not.
+package detrand
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+func bad() {
+	_ = time.Now()                     // want "time.Now reads the wall clock"
+	start := time.Now()                // want "time.Now reads the wall clock"
+	_ = time.Since(start)              // want "time.Since reads the wall clock"
+	_ = time.Until(start)              // want "time.Until reads the wall clock"
+	_ = os.Getpid()                    // want "os.Getpid depends on process identity"
+	_ = rand.Intn(10)                  // want "rand.Intn draws from the process-global math/rand source"
+	_ = rand.Float64()                 // want "rand.Float64 draws from the process-global math/rand source"
+	rand.Shuffle(3, func(i, j int) {}) // want "rand.Shuffle draws from the process-global math/rand source"
+}
+
+func classicSeedBug() {
+	// The canonical anti-pattern: seeding from the wall clock.
+	_ = rand.New(rand.NewSource(time.Now().UnixNano())) // want "time.Now reads the wall clock"
+}
+
+func good(seed int64) {
+	// Explicit generators are how seeded randomness is supposed to
+	// enter; constructing them is fine.
+	r := rand.New(rand.NewSource(seed))
+	_ = r.Intn(10)
+	_ = r.Float64()
+}
+
+func annotated() {
+	//tfcvet:allow detrand — fixture: wall time never reaches results
+	_ = time.Now()
+	start := time.Now() //tfcvet:allow wallclock — fixture: trailing form with alias
+	_ = start
+}

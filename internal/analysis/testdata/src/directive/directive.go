@@ -1,0 +1,28 @@
+// Package directive is an analysistest fixture for the //tfcvet:allow
+// grammar itself: well-formed directives suppress, malformed ones are
+// findings in their own right (and suppress nothing).
+package directive
+
+import "time"
+
+func suppressed() {
+	//tfcvet:allow detrand — justified: fixture exercising the standalone form
+	_ = time.Now()
+	t := time.Now() //tfcvet:allow detrand -- justified: double-dash separator form
+	u := time.Now() //tfcvet:allow wallclock — justified: the wallclock alias resolves to detrand
+	_, _ = t, u
+}
+
+func missingReason() {
+	_ = time.Now() //tfcvet:allow detrand // want "time.Now reads the wall clock" "malformed"
+}
+
+func unknownCheck() {
+	_ = time.Now() //tfcvet:allow nosuchcheck — because // want "time.Now reads the wall clock" "unknown check"
+}
+
+func unsuppressedLine() {
+	//tfcvet:allow detrand — justified: only covers the next line
+	_ = time.Now()
+	_ = time.Now() // want "time.Now reads the wall clock"
+}

@@ -1,0 +1,94 @@
+// Package mapiter is an analysistest fixture for the mapiter analyzer:
+// map-iteration order escaping into output or returned slices must be
+// flagged; the collect-then-sort pattern and order-insensitive loops
+// must not.
+package mapiter
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+func badPrint(m map[string]int) {
+	for k, v := range m { // want "map iteration order feeds output"
+		fmt.Printf("%s=%d\n", k, v)
+	}
+}
+
+func badWriter(w io.Writer, m map[string]float64) {
+	for k := range m { // want "map iteration order feeds output"
+		fmt.Fprintln(w, k)
+	}
+}
+
+func badWriteMethod(b interface{ WriteString(string) (int, error) }, m map[string]int) {
+	for k := range m { // want "map iteration order feeds output"
+		b.WriteString(k)
+	}
+}
+
+func badReturnedSlice(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want "keys accumulates map-iteration results and is returned without sorting"
+	}
+	return keys
+}
+
+func badNamedResult(m map[int]int) (out []int) {
+	for _, v := range m {
+		out = append(out, v) // want "out accumulates map-iteration results and is returned without sorting"
+	}
+	return
+}
+
+func goodCollectThenSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func goodSortedEmission(w io.Writer, m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "%s=%d\n", k, m[k])
+	}
+}
+
+func goodOrderInsensitive(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+func goodLocalAccumulator(m map[string]int) int {
+	var seen []string
+	for k := range m {
+		seen = append(seen, k)
+	}
+	// The slice's length is order-independent; the slice itself never
+	// escapes.
+	return len(seen)
+}
+
+func goodSliceRange(xs []string) {
+	for _, x := range xs {
+		fmt.Println(x)
+	}
+}
+
+func annotated(m map[string]int) {
+	for k := range m { //tfcvet:allow mapiter — fixture: debug dump, ordering genuinely irrelevant
+		fmt.Println(k)
+	}
+}

@@ -1,0 +1,85 @@
+// Package poolsafe is an analysistest fixture for the poolsafe
+// analyzer: uses of a *netsim.Packet after ReleasePacket and retention
+// of pooled packets in fields/slices must be flagged; branch-local
+// releases, reassignment, and annotated ownership transfers must not.
+package poolsafe
+
+import "tfcsim/internal/netsim"
+
+func useAfterRelease(net *netsim.Network) {
+	p := net.NewPacket()
+	p.Seq = 1
+	net.ReleasePacket(p)
+	p.Ack = 2 // want "p is used after being passed to ReleasePacket"
+	_ = p.Seq // want "p is used after being passed to ReleasePacket"
+}
+
+func doubleRelease(net *netsim.Network) {
+	p := net.NewPacket()
+	net.ReleasePacket(p)
+	net.ReleasePacket(p) // want "p is used after being passed to ReleasePacket"
+}
+
+func releaseInBranchThenUse(net *netsim.Network, drop bool) {
+	p := net.NewPacket()
+	if drop {
+		net.ReleasePacket(p)
+		return
+	}
+	p.Seq = 3 // ok: the releasing branch returned
+}
+
+func useInsideBranchAfterRelease(net *netsim.Network, cond bool) {
+	p := net.NewPacket()
+	net.ReleasePacket(p)
+	if cond {
+		p.Seq = 4 // want "p is used after being passed to ReleasePacket"
+	}
+}
+
+func reassignedAfterRelease(net *netsim.Network) {
+	p := net.NewPacket()
+	net.ReleasePacket(p)
+	p = net.NewPacket()
+	p.Seq = 5 // ok: p holds a fresh packet
+	net.ReleasePacket(p)
+}
+
+type retainer struct {
+	stash *netsim.Packet
+	queue []*netsim.Packet
+}
+
+func retainInField(r *retainer, net *netsim.Network) {
+	p := net.NewPacket()
+	r.stash = p // want "stored in a struct field"
+}
+
+func retainInSlice(r *retainer, net *netsim.Network) {
+	p := net.NewPacket()
+	r.queue = append(r.queue, p) // want "appended to a slice"
+}
+
+func retainInElement(byFlow map[int]*netsim.Packet, net *netsim.Network) {
+	p := net.NewPacket()
+	byFlow[7] = p // want "stored in a slice/map element"
+}
+
+func retainInLiteral(net *netsim.Network) retainer {
+	p := net.NewPacket()
+	return retainer{stash: p} // want "retained in a composite literal"
+}
+
+func annotatedHandoff(r *retainer, net *netsim.Network) {
+	p := net.NewPacket()
+	//tfcvet:allow poolsafe — fixture: deliberate ownership transfer to the retainer
+	r.stash = p
+}
+
+func localUseIsFine(net *netsim.Network) int {
+	p := net.NewPacket()
+	p.Seq = 9
+	n := p.Payload
+	net.ReleasePacket(p)
+	return n
+}

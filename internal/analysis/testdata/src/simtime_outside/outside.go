@@ -1,0 +1,13 @@
+// Package simtime_outside is an analysistest fixture proving the
+// simtime analyzer's scoping: this import path is outside the
+// simulation boundary, so package time is free to use here (detrand
+// still governs the wall-clock entry points, but that is a different
+// analyzer).
+package simtime_outside
+
+import "time"
+
+func fine() time.Duration {
+	var d time.Duration = 3 * time.Second
+	return d
+}

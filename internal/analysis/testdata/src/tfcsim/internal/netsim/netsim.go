@@ -1,0 +1,31 @@
+// Package netsim is a fixture stub standing in for the real
+// tfcsim/internal/netsim: the poolsafe analyzer identifies pooled
+// packets and releasing sinks by this package path, so the stub lets
+// the fixtures exercise it hermetically (analysistest source roots
+// shadow the module).
+package netsim
+
+// Packet mirrors the pooled packet type's shape.
+type Packet struct {
+	Seq     int64
+	Ack     int64
+	Payload int
+}
+
+// Network owns the packet pool.
+type Network struct{}
+
+// NewPacket returns a zeroed packet.
+func (n *Network) NewPacket() *Packet { return &Packet{} }
+
+// ReleasePacket returns p to the pool; p must not be used afterwards.
+func (n *Network) ReleasePacket(p *Packet) {}
+
+// Host is an attachment point mirroring netsim.Host.
+type Host struct{ net *Network }
+
+// Network returns the host's network.
+func (h *Host) Network() *Network { return h.net }
+
+// NewPacket allocates from the host's network pool.
+func (h *Host) NewPacket() *Packet { return h.net.NewPacket() }

@@ -435,6 +435,7 @@ func (st *PortState) handleRMA(pkt *netsim.Packet, out *netsim.Port) bool {
 		st.counter -= mss
 		return false
 	}
+	//tfcvet:allow poolsafe — deliberate ownership transfer: returning true tells the switch the ACK is held; onRelease later re-injects it
 	st.delayQ = append(st.delayQ, heldAck{pkt, out})
 	st.DelayedAcks++
 	st.scheduleRelease()

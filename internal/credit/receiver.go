@@ -275,6 +275,7 @@ func (sh *Shaper) Intercept(pkt *netsim.Packet, out *netsim.Port, sw *netsim.Swi
 		out.Network().ReleasePacket(pkt) // credit shaped away
 		return true
 	}
+	//tfcvet:allow poolsafe — deliberate ownership transfer: returning true tells the switch the credit is held; scheduleRelease later re-injects it
 	b.queue = append(b.queue, heldCredit{pkt, out})
 	sh.Queued++
 	sh.scheduleRelease(b)

@@ -41,6 +41,11 @@ func NewRTTEstimator(minRTO, maxRTO, initRTO sim.Time) *RTTEstimator {
 	if initRTO < minRTO {
 		initRTO = minRTO
 	}
+	if initRTO > maxRTO {
+		// A max clamp tighter than the initial RTO must bound it too, or
+		// RTO() exceeds maxRTO until the first sample arrives.
+		initRTO = maxRTO
+	}
 	return &RTTEstimator{minRTO: minRTO, maxRTO: maxRTO, initRTO: initRTO}
 }
 

@@ -1,0 +1,32 @@
+#!/usr/bin/env sh
+# vet.sh — the repository's static-analysis gate.
+#
+#   scripts/vet.sh
+#
+# Builds cmd/tfcvet (the custom analyzer suite: detrand, simtime, mapiter,
+# poolsafe), runs it over the whole module via `go vet -vettool`, then runs
+# the standard go vet checks and gofmt. Any diagnostic fails the script.
+set -eu
+cd "$(dirname "$0")/.."
+
+tool="$(mktemp -d)/tfcvet"
+trap 'rm -rf "$(dirname "$tool")"' EXIT
+
+echo "==> build tfcvet"
+go build -o "$tool" ./cmd/tfcvet
+
+echo "==> tfcvet (determinism / sim-time / map-order / pool-lifetime)"
+go vet -vettool="$tool" ./...
+
+echo "==> go vet (standard checks)"
+go vet ./...
+
+echo "==> gofmt"
+fmt="$(gofmt -l .)"
+if [ -n "$fmt" ]; then
+	echo "gofmt needed on:" >&2
+	echo "$fmt" >&2
+	exit 1
+fi
+
+echo "vet clean"

@@ -1,8 +1,11 @@
 package tfcsim
 
 import (
+	"bytes"
 	"context"
 	"errors"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -181,6 +184,45 @@ func TestParallelismEquivalence(t *testing.T) {
 	for i, m := range r8.Trials {
 		if m.Index != i {
 			t.Fatalf("trial %d has index %d; metrics not sorted", i, m.Index)
+		}
+	}
+}
+
+func TestCSVExportByteIdentical(t *testing.T) {
+	// CSV export is part of the deterministic output surface: the same
+	// (experiment, scale, seed) must yield byte-identical CSV files
+	// regardless of parallelism. This is the regression test behind the
+	// mapiter analyzer — an unsorted map iteration feeding a CSV writer
+	// shows up here as flapping bytes.
+	e, ok := Find("fig06")
+	if !ok {
+		t.Fatal("fig06 not in registry")
+	}
+	dirA, dirB := t.TempDir(), t.TempDir()
+	if _, err := e.Run(context.Background(), RunOptions{Scale: Quick, Seed: 7, Parallelism: 1, CSVDir: dirA}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(context.Background(), RunOptions{Scale: Quick, Seed: 7, Parallelism: 8, CSVDir: dirB}); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dirA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("fig06 exported no CSV files")
+	}
+	for _, ent := range entries {
+		a, err := os.ReadFile(filepath.Join(dirA, ent.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := os.ReadFile(filepath.Join(dirB, ent.Name()))
+		if err != nil {
+			t.Fatalf("second run missing %s: %v", ent.Name(), err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Errorf("%s differs between identical-seed runs (parallelism 1 vs 8)", ent.Name())
 		}
 	}
 }
