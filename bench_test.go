@@ -9,6 +9,7 @@ package tfcsim
 
 import (
 	"context"
+	"fmt"
 	"runtime"
 	"testing"
 
@@ -16,6 +17,7 @@ import (
 	"tfcsim/internal/netsim"
 	"tfcsim/internal/runner"
 	"tfcsim/internal/sim"
+	"tfcsim/internal/telemetry"
 )
 
 // benchPool runs a benchmark's protocol trials serially (benchmarks time
@@ -237,6 +239,55 @@ func BenchmarkEngineThroughput(b *testing.B) {
 		net.Connect(sw, h2, LinkConfig{Rate: 10 * Gbps, Delay: 5 * Microsecond, BufA: 1 << 20})
 		net.ComputeRoutes()
 		d := &Dialer{Sim: s, Proto: TCP}
+		conn := d.Dial(h1, h2, nil, nil)
+		conn.Sender.Open()
+		conn.Sender.Send(1 << 30)
+		s.RunUntil(50 * Millisecond)
+		events += s.Executed()
+		for _, n := range net.Nodes() {
+			for _, p := range n.Ports() {
+				hops += p.TxPackets
+			}
+		}
+	}
+	b.StopTimer()
+	runtime.ReadMemStats(&ms1)
+	simsec := 50e-3 * float64(b.N)
+	b.ReportMetric(float64(events)/simsec/1e6, "Mevents/simsec")
+	b.ReportMetric(float64(events)/b.Elapsed().Seconds()/1e6, "Mevents/wallsec")
+	b.ReportMetric(float64(ms1.Mallocs-ms0.Mallocs)/float64(hops), "allocs/pkt-hop")
+}
+
+// BenchmarkEngineThroughputTelemetry runs the same saturated dumbbell
+// with a live telemetry trial attached (forwarding-path probe, transport
+// probe, queue gauges, event recorder), so the delta against
+// BenchmarkEngineThroughput is the telemetry layer's enabled-path cost.
+// The disabled path is covered by BenchmarkEngineThroughput itself:
+// after the instrumentation refactor every probe field there is nil, so
+// its figures also prove the nil-check fast path costs nothing.
+func BenchmarkEngineThroughputTelemetry(b *testing.B) {
+	b.ReportAllocs()
+	col := telemetry.NewCollector(telemetry.Options{})
+	var events uint64
+	var hops int64
+	var ms0, ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tel := col.Trial(fmt.Sprintf("iter%06d", i))
+		s := NewSimulator(1)
+		tel.Bind(s)
+		net := NewNetwork(s)
+		net.PoolPackets = true
+		h1 := net.NewHost("h1")
+		h2 := net.NewHost("h2")
+		sw := net.NewSwitch("sw")
+		link := LinkConfig{Rate: 10 * Gbps, Delay: 5 * Microsecond}
+		net.Connect(h1, sw, link)
+		net.Connect(sw, h2, LinkConfig{Rate: 10 * Gbps, Delay: 5 * Microsecond, BufA: 1 << 20})
+		net.ComputeRoutes()
+		telemetry.InstrumentNetwork(tel, net)
+		d := &Dialer{Sim: s, Proto: TCP, TCPProbe: tel.TCPProbe()}
 		conn := d.Dial(h1, h2, nil, nil)
 		conn.Sender.Open()
 		conn.Sender.Send(1 << 30)

@@ -7,8 +7,8 @@
 // Usage:
 //
 //	tfcsim list
-//	tfcsim run <experiment> [-scale quick|paper] [-j N] [-seed N] [-out FILE] [-csv DIR] [-v]
-//	tfcsim all [-scale quick|paper] [-j N] [-seed N] [-out FILE] [-csv DIR] [-v]
+//	tfcsim run <experiment> [-scale quick|paper] [-j N] [-seed N] [-out FILE] [-csv DIR] [-trace FILE] [-metrics FILE] [-v]
+//	tfcsim all [-scale quick|paper] [-j N] [-seed N] [-out FILE] [-csv DIR] [-trace FILE] [-metrics FILE] [-v]
 //	tfcsim verify
 package main
 
@@ -19,10 +19,13 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 
 	"tfcsim"
+	"tfcsim/internal/telemetry"
 )
 
 func usage() {
@@ -40,6 +43,8 @@ Flags for run/all:
   -seed N              base seed; trial seeds derive from (seed, trial index)
   -out FILE            also write output to this file
   -csv DIR             export raw series/CDF data as CSV (fig06, fig08-10, fig12, fig13)
+  -trace FILE          write a Chrome trace-event JSON of the run (Perfetto / chrome://tracing)
+  -metrics FILE        write the run's metrics snapshot JSON (counters, gauges, histograms)
   -v                   print per-trial progress to stderr
   -cpuprofile FILE     write a CPU profile of the run (go tool pprof)
   -memprofile FILE     write a heap profile taken after the run
@@ -71,6 +76,8 @@ func main() {
 		seed := fs.Int64("seed", 1, "base seed for per-trial seed derivation")
 		out := fs.String("out", "", "also write output to this file")
 		csv := fs.String("csv", "", "export raw series/CDF data as CSV into this directory")
+		tracePath := fs.String("trace", "", "write Chrome trace-event JSON to this file")
+		metricsPath := fs.String("metrics", "", "write metrics snapshot JSON to this file")
 		verbose := fs.Bool("v", false, "print per-trial progress to stderr")
 		cpuprofile := fs.String("cpuprofile", "", "write CPU profile to this file")
 		memprofile := fs.String("memprofile", "", "write heap profile to this file")
@@ -148,8 +155,16 @@ func main() {
 		if j <= 0 {
 			j = runtime.GOMAXPROCS(0)
 		}
+		all := os.Args[1] == "all"
 		run := func(e tfcsim.Experiment) {
-			res, err := e.Run(ctx, opts)
+			o := opts
+			if *tracePath != "" || *metricsPath != "" {
+				o.Telemetry = &telemetry.Options{
+					TracePath:   perExpPath(*tracePath, e.Name, all),
+					MetricsPath: perExpPath(*metricsPath, e.Name, all),
+				}
+			}
+			res, err := e.Run(ctx, o)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
@@ -158,7 +173,7 @@ func main() {
 			fmt.Fprintf(w, "-- %d trials, %d sim events, %.2fs wall --\n\n",
 				len(res.Trials), res.Events, res.Wall.Seconds())
 		}
-		if os.Args[1] == "run" {
+		if !all {
 			e, ok := tfcsim.Find(name)
 			if !ok {
 				fmt.Fprintf(os.Stderr, "tfcsim: unknown experiment %q (try `tfcsim list`)\n", name)
@@ -173,4 +188,15 @@ func main() {
 	default:
 		usage()
 	}
+}
+
+// perExpPath keeps path as-is for a single-experiment run; for `all` it
+// inserts the experiment name before the extension so every experiment
+// writes its own trace/metrics file instead of overwriting one.
+func perExpPath(path, exp string, all bool) string {
+	if path == "" || !all {
+		return path
+	}
+	ext := filepath.Ext(path)
+	return strings.TrimSuffix(path, ext) + "-" + exp + ext
 }

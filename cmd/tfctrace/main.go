@@ -6,6 +6,9 @@
 // Usage:
 //
 //	tfctrace [-proto tfc|tcp|dctcp] [-flows N] [-us N] [-max N] [-flow id]
+//
+// -flow 0 (the default) traces all flows; any other value restricts the
+// trace to that single flow ID.
 package main
 
 import (
@@ -24,6 +27,13 @@ func main() {
 	max := flag.Int("max", 200, "maximum trace lines")
 	only := flag.Int64("flow", 0, "trace only this flow ID (0 = all)")
 	flag.Parse()
+	switch *proto {
+	case "tfc", "tcp", "dctcp":
+	default:
+		fmt.Fprintf(os.Stderr, "tfctrace: unknown protocol %q (want tfc, tcp or dctcp)\n", *proto)
+		flag.Usage()
+		os.Exit(2)
+	}
 
 	s := tfcsim.NewSimulator(1)
 	net := tfcsim.NewNetwork(s)
@@ -46,9 +56,6 @@ func main() {
 	case "dctcp":
 		tfcsim.AttachDCTCPMarking(sw, tfcsim.DCTCPThreshold(tfcsim.Gbps))
 	case "tcp":
-	default:
-		fmt.Fprintf(os.Stderr, "unknown protocol %q\n", *proto)
-		os.Exit(2)
 	}
 
 	lines := 0

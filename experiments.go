@@ -12,6 +12,7 @@ import (
 	"tfcsim/internal/netsim"
 	"tfcsim/internal/runner"
 	"tfcsim/internal/sim"
+	"tfcsim/internal/telemetry"
 )
 
 // Scale selects experiment fidelity: Quick runs in seconds (CI and
@@ -44,6 +45,13 @@ type RunOptions struct {
 	// Progress, if set, is called as each trial completes (serialized,
 	// in completion order). It must not block.
 	Progress func(ProgressEvent)
+	// Telemetry, if set, instruments every trial of the run: virtual-time
+	// metrics and Chrome trace events, merged in deterministic trial-key
+	// order and written to the paths named in the options after the run
+	// (empty paths skip the corresponding file). The collector is also
+	// returned in Result.Telemetry. Nil (the default) disables
+	// instrumentation entirely.
+	Telemetry *telemetry.Options
 }
 
 func (o RunOptions) withDefaults() (RunOptions, error) {
@@ -89,6 +97,9 @@ type Result struct {
 	Events uint64
 	// Wall is the experiment's total wall-clock time.
 	Wall time.Duration
+	// Telemetry is the run's collector (nil unless RunOptions.Telemetry
+	// was set); its files have already been written by Run.
+	Telemetry *telemetry.Collector
 }
 
 // runCtx is what a registry entry's run function gets to work with: the
@@ -98,9 +109,15 @@ type runCtx struct {
 	seed   int64
 	csvDir string
 	pool   *runner.Pool
+	tel    *telemetry.Collector // nil when telemetry is off
 }
 
 func (rc *runCtx) paper() bool { return rc.scale == Paper }
+
+// trial mints the telemetry sink for one keyed trial (nil when telemetry
+// is off). Keys must be unique per run and derived from the trial's grid
+// position, never from timing.
+func (rc *runCtx) trial(key string) *telemetry.Trial { return rc.tel.Trial(key) }
 
 // subPool returns a pool like rc.pool but with an independent seed branch,
 // for experiments that submit more than one batch of trials (fig15's
@@ -143,10 +160,17 @@ func (e Experiment) Run(ctx context.Context, opts RunOptions) (*Result, error) {
 		},
 	}
 	rc := &runCtx{scale: opts.Scale, seed: opts.Seed, csvDir: opts.CSVDir, pool: pool}
+	if opts.Telemetry != nil {
+		rc.tel = telemetry.NewCollector(*opts.Telemetry)
+		res.Telemetry = rc.tel
+	}
 	start := time.Now() //tfcvet:allow wallclock — Result.Wall reports real elapsed time; it never feeds simulation state or CSV data
 	data, text, err := e.run(ctx, rc)
 	if err != nil {
 		return nil, fmt.Errorf("tfcsim: %s: %w", e.Name, err)
+	}
+	if err := rc.tel.WriteFiles(); err != nil {
+		return nil, fmt.Errorf("tfcsim: %s: telemetry: %w", e.Name, err)
 	}
 	res.Wall = time.Since(start) //tfcvet:allow wallclock — Result.Wall reports real elapsed time; it never feeds simulation state or CSV data
 	res.Data = data
@@ -173,6 +197,7 @@ var registry = []Experiment{
 			rs, _, err := runner.Map(ctx, rc.pool, 1, func(_ int, seed int64) (*exp.RTTAccuracyResult, error) {
 				c := cfg
 				c.Seed = seed
+				c.Telemetry = rc.trial("loaded")
 				return exp.RTTAccuracy(c), nil
 			})
 			if err != nil {
@@ -192,6 +217,7 @@ var registry = []Experiment{
 			rs, _, err := runner.Map(ctx, rc.pool, 1, func(_ int, seed int64) (*exp.NeAccuracyResult, error) {
 				c := cfg
 				c.Seed = seed
+				c.Telemetry = rc.trial("ne-accuracy")
 				return exp.NeAccuracy(c), nil
 			})
 			if err != nil {
@@ -205,6 +231,7 @@ var registry = []Experiment{
 		Desc: "queue length, goodput/fairness and convergence, 4 staggered flows -> H3, TFC vs DCTCP vs TCP",
 		run: func(ctx context.Context, rc *runCtx) (any, string, error) {
 			cfg := exp.QueueFairnessConfig{CSVDir: rc.csvDir}
+			cfg.TelemetryC = rc.tel
 			if rc.paper() {
 				cfg.StartInterval = 3 * sim.Second
 				cfg.Tail = 3 * sim.Second
@@ -228,10 +255,15 @@ var registry = []Experiment{
 			// The ablation is a paired comparison: both variants run with
 			// the same seed so only DisableAdjust differs.
 			variant := func(disable bool) func(int64) (*exp.WorkConservingResult, error) {
+				key := "full"
+				if disable {
+					key = "no-adjust"
+				}
 				return func(seed int64) (*exp.WorkConservingResult, error) {
 					c := cfg
 					c.Seed = seed
 					c.DisableAdjust = disable
+					c.Telemetry = rc.trial(key)
 					return exp.WorkConserving(c), nil
 				}
 			}
@@ -248,6 +280,7 @@ var registry = []Experiment{
 		Desc: "testbed incast: goodput and queue vs number of senders (1G, 256KB blocks)",
 		run: func(ctx context.Context, rc *runCtx) (any, string, error) {
 			cfg := exp.IncastConfig{}
+			cfg.TelemetryC = rc.tel
 			senders := []int{10, 40, 70, 100}
 			protos := []exp.Proto{exp.TFC, exp.DCTCP, exp.TCP}
 			if rc.paper() {
@@ -273,6 +306,7 @@ var registry = []Experiment{
 		Desc: "testbed web-search benchmark: query and background FCT, TFC vs DCTCP vs TCP",
 		run: func(ctx context.Context, rc *runCtx) (any, string, error) {
 			cfg := exp.BenchmarkConfig{}
+			cfg.TelemetryC = rc.tel
 			if rc.paper() {
 				cfg.Duration = 2 * sim.Second
 				cfg.QueryRate = 300
@@ -295,6 +329,7 @@ var registry = []Experiment{
 		Desc: "impact of rho0: goodput and queue for rho0 in 0.90..1.00",
 		run: func(ctx context.Context, rc *runCtx) (any, string, error) {
 			cfg := exp.Rho0SweepConfig{Rho0s: []float64{0.90, 0.92, 0.94, 0.96, 0.98, 1.00}}
+			cfg.TelemetryC = rc.tel
 			if rc.paper() {
 				cfg.Duration = 2 * sim.Second
 			}
@@ -330,6 +365,8 @@ var registry = []Experiment{
 					Rate: 10 * netsim.Gbps, BufBytes: 512 << 10,
 					BlockBytes: blk, Rounds: rounds,
 				}
+				cfg.TelemetryC = rc.tel
+				cfg.TelemetryKey = fmt.Sprintf("b%dK", blk>>10)
 				pts, err := exp.IncastSweep(ctx, rc.subPool(bi), cfg, senders, []exp.Proto{exp.TFC, exp.TCP})
 				if err != nil {
 					return nil, "", err
@@ -347,6 +384,7 @@ var registry = []Experiment{
 		Desc: "large-scale web-search benchmark (leaf-spine): query and background FCT",
 		run: func(ctx context.Context, rc *runCtx) (any, string, error) {
 			cfg := exp.BenchmarkConfig{BufBytes: 512 << 10}
+			cfg.TelemetryC = rc.tel
 			protos := []exp.Proto{exp.TFC, exp.TCP}
 			if rc.paper() {
 				cfg.Racks, cfg.PerRack = 18, 20
@@ -372,6 +410,7 @@ var registry = []Experiment{
 		Desc: "k-ary fat-tree cross-pod permutation over ECMP: TFC vs TCP fabric queues",
 		run: func(ctx context.Context, rc *runCtx) (any, string, error) {
 			cfg := exp.PermutationConfig{}
+			cfg.TelemetryC = rc.tel
 			if rc.paper() {
 				cfg.K = 8
 				cfg.Duration = 300 * sim.Millisecond
@@ -390,6 +429,7 @@ var registry = []Experiment{
 		Desc: "Storm-style on-off flows: silent-share reclamation and burst-free resume",
 		run: func(ctx context.Context, rc *runCtx) (any, string, error) {
 			cfg := exp.ChurnConfig{}
+			cfg.TelemetryC = rc.tel
 			if rc.paper() {
 				cfg.Duration = 2 * sim.Second
 			}
@@ -405,6 +445,7 @@ var registry = []Experiment{
 		Desc: "failure recovery: bottleneck blackouts (5/50/500ms) and 1% bursty loss, TFC vs DCTCP vs TCP",
 		run: func(ctx context.Context, rc *runCtx) (any, string, error) {
 			cfg := exp.RobustnessConfig{}
+			cfg.TelemetryC = rc.tel
 			if rc.paper() {
 				cfg.Tail = 2 * sim.Second
 			}
@@ -421,6 +462,7 @@ var registry = []Experiment{
 		Desc: "TFC vs an ExpressPass-style receiver-driven credit transport on incast",
 		run: func(ctx context.Context, rc *runCtx) (any, string, error) {
 			cfg := exp.IncastConfig{BufBytes: 64 << 10}
+			cfg.TelemetryC = rc.tel
 			senders := []int{20, 60}
 			if rc.paper() {
 				cfg.Rounds = 50
@@ -450,10 +492,15 @@ var registry = []Experiment{
 			cfg.Senders = 80
 			// Paired comparison: same seed, only DisableDelay differs.
 			variant := func(disable bool) func(int64) (exp.IncastPoint, error) {
+				key := "full"
+				if disable {
+					key = "no-delay"
+				}
 				return func(seed int64) (exp.IncastPoint, error) {
 					c := cfg
 					c.Seed = seed
 					c.TFC.DisableDelay = disable
+					c.Telemetry = rc.trial(key)
 					return exp.Incast(c), nil
 				}
 			}
@@ -478,10 +525,15 @@ var registry = []Experiment{
 			cfg.Proto = exp.TFC
 			// Paired comparison: same seed, only DisableDecouple differs.
 			variant := func(disable bool) func(int64) (*exp.QueueFairnessResult, error) {
+				key := "decoupled"
+				if disable {
+					key = "coupled"
+				}
 				return func(seed int64) (*exp.QueueFairnessResult, error) {
 					c := cfg
 					c.Seed = seed
 					c.TFC.DisableDecouple = disable
+					c.Telemetry = rc.trial(key)
 					return exp.QueueFairness(c), nil
 				}
 			}

@@ -92,3 +92,47 @@ func annotated(m map[string]int) {
 		fmt.Println(k)
 	}
 }
+
+// Telemetry-registry shape: a collector holding keyed per-trial sinks
+// whose merged export must not depend on map order.
+type trialSink struct {
+	key      string
+	counters map[string]int64
+}
+
+type collector struct {
+	trials map[string]*trialSink
+}
+
+func badRegistryExport(w io.Writer, c *collector) {
+	for key, t := range c.trials { // want "map iteration order feeds output"
+		fmt.Fprintf(w, "%s: %d counters\n", key, len(t.counters))
+	}
+}
+
+func badRegistrySnapshot(c *collector) []*trialSink {
+	var out []*trialSink
+	for _, t := range c.trials {
+		out = append(out, t) // want "out accumulates map-iteration results and is returned without sorting"
+	}
+	return out
+}
+
+func goodRegistryExport(w io.Writer, c *collector) {
+	keys := make([]string, 0, len(c.trials))
+	for k := range c.trials {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		t := c.trials[k]
+		names := make([]string, 0, len(t.counters))
+		for n := range t.counters {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Fprintf(w, "%s/%s=%d\n", k, n, t.counters[n])
+		}
+	}
+}

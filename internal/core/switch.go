@@ -42,6 +42,28 @@ type SwitchConfig struct {
 	// OnSlot, if set, is invoked at the end of every time slot with the
 	// slot's measurements (drives Figs 6 and 7).
 	OnSlot func(port *netsim.Port, info SlotInfo)
+
+	// Probe, if set, receives TFC control-plane telemetry (slot closes,
+	// window stamps, delay-arbiter holds/grants). Disabled path is one
+	// nil-check per event; implementations must not mutate sim state.
+	Probe Probe
+}
+
+// Probe observes TFC's control plane for the telemetry layer
+// (internal/telemetry). All callbacks are read-only observers.
+type Probe interface {
+	// SlotEnd runs when a time slot closes at a port, after token
+	// adjustment (eqs. 7-8) and window computation.
+	SlotEnd(port *netsim.Port, info SlotInfo)
+	// WindowStamp runs when a passing packet's window field is stamped
+	// down to the port's assignment.
+	WindowStamp(port *netsim.Port, flow netsim.FlowID, window int64)
+	// DelayHold runs when the ACK delay arbiter queues an RMA ACK;
+	// held is the arbiter queue length including this ACK.
+	DelayHold(port *netsim.Port, flow netsim.FlowID, held int)
+	// DelayGrant runs when a held ACK is released; held is the queue
+	// length after the release.
+	DelayGrant(port *netsim.Port, flow netsim.FlowID, held int)
 }
 
 func (c *SwitchConfig) fillDefaults() {
@@ -222,6 +244,9 @@ func (st *PortState) OnEnqueue(pkt *netsim.Packet, port *netsim.Port) bool {
 		}
 		pkt.Window = wi
 		st.Stamped++
+		if st.cfg.Probe != nil {
+			st.cfg.Probe.WindowStamp(st.port, pkt.Flow, wi)
+		}
 	}
 	return true
 }
@@ -342,11 +367,17 @@ func (st *PortState) endSlot(pkt *netsim.Packet) {
 	}
 	st.w = st.t / st.eSmooth
 	st.Slots++
-	if st.cfg.OnSlot != nil {
-		st.cfg.OnSlot(st.port, SlotInfo{
+	if st.cfg.OnSlot != nil || st.cfg.Probe != nil {
+		info := SlotInfo{
 			Time: now, RTTm: rttm, RTTb: st.rttb, E: st.e,
 			Rho: rho, T: st.t, W: st.w,
-		})
+		}
+		if st.cfg.OnSlot != nil {
+			st.cfg.OnSlot(st.port, info)
+		}
+		if st.cfg.Probe != nil {
+			st.cfg.Probe.SlotEnd(st.port, info)
+		}
 	}
 	st.e = int(pkt.Weight)
 	if st.e == 0 {
@@ -438,6 +469,9 @@ func (st *PortState) handleRMA(pkt *netsim.Packet, out *netsim.Port) bool {
 	//tfcvet:allow poolsafe — deliberate ownership transfer: returning true tells the switch the ACK is held; onRelease later re-injects it
 	st.delayQ = append(st.delayQ, heldAck{pkt, out})
 	st.DelayedAcks++
+	if st.cfg.Probe != nil {
+		st.cfg.Probe.DelayHold(st.port, pkt.Flow, len(st.delayQ))
+	}
 	st.scheduleRelease()
 	return true
 }
@@ -465,6 +499,9 @@ func (st *PortState) onRelease() {
 		st.delayQ = st.delayQ[:len(st.delayQ)-1]
 		h.pkt.Window = int64(st.cfg.MSS)
 		st.counter -= mss
+		if st.cfg.Probe != nil {
+			st.cfg.Probe.DelayGrant(st.port, h.pkt.Flow, len(st.delayQ))
+		}
 		h.out.Enqueue(h.pkt)
 	}
 	if len(st.delayQ) > 0 {

@@ -50,6 +50,19 @@ type Config struct {
 
 	OnDrain    func()
 	OnComplete func()
+
+	// Probe, if set, receives credit-transport telemetry (RTO firings,
+	// credit-rate moves). Disabled path is one nil-check per event.
+	Probe Probe
+}
+
+// Probe observes the credit transport for the telemetry layer
+// (internal/telemetry). All callbacks are read-only observers.
+type Probe interface {
+	// RTOFired runs when the sender's retransmission safety net expires.
+	RTOFired(flow netsim.FlowID, backoff uint)
+	// CreditRate runs after every receiver rate adjustment (credits/s).
+	CreditRate(flow netsim.FlowID, perSec float64)
 }
 
 func (c *Config) fill() {
@@ -246,6 +259,9 @@ func (s *Sender) onRTO() {
 	}
 	s.st.Timeouts++
 	s.rtoBackoff++
+	if s.cfg.Probe != nil {
+		s.cfg.Probe.RTOFired(s.cfg.Flow, s.rtoBackoff)
+	}
 	// Go-back-N and re-request credits.
 	s.st.RtxBytes += s.sndNxt - s.sndUna
 	s.sndNxt = s.sndUna

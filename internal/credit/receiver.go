@@ -161,6 +161,9 @@ func (r *Receiver) feedback() {
 	if min := r.maxRate / 256; r.rate < min {
 		r.rate = min
 	}
+	if r.cfg.Probe != nil {
+		r.cfg.Probe.CreditRate(r.cfg.Flow, r.rate)
+	}
 	if r.epochUsed == 0 {
 		r.barren++
 		// Only give up on a flow that claims to have nothing left (the

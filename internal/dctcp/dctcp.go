@@ -24,6 +24,9 @@ type MarkHook struct {
 	K int
 	// Marked counts CE marks applied (diagnostics).
 	Marked int64
+	// OnMark, if set, observes every CE mark (telemetry). The packet is
+	// not passed: probes must not retain or mutate it.
+	OnMark func(port *netsim.Port, flow netsim.FlowID)
 }
 
 // OnEnqueue implements netsim.PortHook.
@@ -31,6 +34,9 @@ func (h *MarkHook) OnEnqueue(pkt *netsim.Packet, port *netsim.Port) bool {
 	if pkt.Flags&netsim.FlagECT != 0 && port.QueueBytes() >= h.K {
 		pkt.Flags |= netsim.FlagCE
 		h.Marked++
+		if h.OnMark != nil {
+			h.OnMark(port, pkt.Flow)
+		}
 	}
 	return true
 }

@@ -155,6 +155,7 @@ func ChurnAll(ctx context.Context, p *runner.Pool, cfg ChurnConfig, protos []Pro
 		c := cfg
 		c.Proto = protos[i]
 		c.Seed = seed
+		c.mintTelemetry(string(c.Proto))
 		return Churn(c), nil
 	})
 	return rs, err

@@ -173,6 +173,7 @@ func PermutationAll(ctx context.Context, p *runner.Pool, cfg PermutationConfig, 
 		c := cfg
 		c.Proto = protos[i]
 		c.Seed = seed
+		c.mintTelemetry(string(c.Proto))
 		return Permutation(c), nil
 	})
 	return rs, err

@@ -54,7 +54,9 @@ func RTTAccuracy(cfg RTTAccuracyConfig) *RTTAccuracyResult {
 	// sender give the queueless RTT (the paper's "referenced rtt" probe:
 	// one MTU packet per round trip).
 	{
-		e := Testbed(cfg.TopoConfig)
+		rt := cfg.TopoConfig
+		rt.Telemetry = nil // the loaded run below owns the trial's sink
+		e := Testbed(rt)
 		h1, h3 := e.Hosts[0], e.Hosts[2]
 		var lastSend sim.Time
 		var conn *workload.Conn

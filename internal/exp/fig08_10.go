@@ -191,6 +191,7 @@ func QueueFairnessAll(ctx context.Context, p *runner.Pool, cfg QueueFairnessConf
 		c := cfg
 		c.Proto = AllProtos[i]
 		c.Seed = seed
+		c.mintTelemetry(string(c.Proto))
 		return QueueFairness(c), nil
 	})
 	return rs, err

@@ -148,6 +148,7 @@ func Rho0Sweep(cfg Rho0SweepConfig) []Rho0Point {
 	for _, rho := range cfg.Rho0s {
 		tc := cfg.TopoConfig
 		tc.TFC.Rho0 = rho
+		tc.mintTelemetry(fmt.Sprintf("rho%.2f", rho))
 		e := Testbed(tc)
 		h6 := e.Hosts[5]
 		bott := e.Switches[2].PortTo(h6.ID()) // NF2 -> H6

@@ -132,6 +132,7 @@ func IncastSweep(ctx context.Context, p *runner.Pool, cfg IncastConfig, sendersL
 		c.Proto = grid[i].proto
 		c.Senders = grid[i].n
 		c.Seed = seed
+		c.mintTelemetry(fmt.Sprintf("%s-n%03d", c.Proto, c.Senders))
 		return Incast(c), nil
 	})
 	return pts, err

@@ -129,6 +129,7 @@ func BenchmarkAll(ctx context.Context, p *runner.Pool, cfg BenchmarkConfig, prot
 		c := cfg
 		c.Proto = protos[i]
 		c.Seed = seed
+		c.mintTelemetry(string(c.Proto))
 		return Benchmark(c), nil
 	})
 	return rs, err

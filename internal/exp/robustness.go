@@ -112,6 +112,7 @@ func Robustness(cfg RobustnessConfig) RobustnessPoint {
 	}
 
 	inj := faults.NewScheduler(e.Sim)
+	inj.Probe = cfg.Telemetry.FaultProbe()
 	upAt := cfg.Warmup + cfg.Blackout
 	if cfg.Blackout > 0 {
 		// A cable failure is bidirectional: data direction (bott) and the
@@ -213,6 +214,7 @@ func RobustnessSweep(ctx context.Context, p *runner.Pool, cfg RobustnessConfig,
 		c.Blackout = sc.Blackout
 		c.Loss = sc.Loss
 		c.Burst = sc.Burst
+		c.mintTelemetry(sc.Name + "-" + string(c.Proto))
 		pt := Robustness(c)
 		pt.Scenario = sc.Name
 		return pt, nil

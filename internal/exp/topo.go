@@ -11,6 +11,7 @@ import (
 	"tfcsim/internal/dctcp"
 	"tfcsim/internal/netsim"
 	"tfcsim/internal/sim"
+	"tfcsim/internal/telemetry"
 	"tfcsim/internal/workload"
 )
 
@@ -50,6 +51,31 @@ type TopoConfig struct {
 	TFC core.SwitchConfig
 	// MinRTO for senders (default 200ms).
 	MinRTO sim.Time
+	// Telemetry, when non-nil, is this trial's telemetry sink. The builder
+	// binds it to the simulator and instruments the forwarding path, the
+	// protocol attachments, and every sender the Dialer creates. Nil (the
+	// default) disables all instrumentation. A trial sink serves exactly
+	// one environment; sweeps mint one per cell via TelemetryC instead.
+	Telemetry *telemetry.Trial
+	// TelemetryC, when non-nil, is the run's collector: grid sweeps mint
+	// one keyed Trial per cell from it (key = TelemetryKey + "/" + cell
+	// descriptor). Ignored when Telemetry is already set.
+	TelemetryC *telemetry.Collector
+	// TelemetryKey prefixes the trial keys sweeps mint from TelemetryC.
+	TelemetryKey string
+}
+
+// mintTelemetry fills Telemetry from TelemetryC under the cell's key.
+// No-op when Telemetry is already set or there is no collector.
+func (c *TopoConfig) mintTelemetry(cell string) {
+	if c.Telemetry != nil || c.TelemetryC == nil {
+		return
+	}
+	key := cell
+	if c.TelemetryKey != "" {
+		key = c.TelemetryKey + "/" + cell
+	}
+	c.Telemetry = c.TelemetryC.Trial(key)
 }
 
 func (c *TopoConfig) fill() {
@@ -64,11 +90,16 @@ func (c *TopoConfig) fill() {
 func newEnv(cfg *TopoConfig) *Env {
 	cfg.fill()
 	s := sim.New(cfg.Seed)
+	cfg.Telemetry.Bind(s)
 	return &Env{
 		Sim:      s,
 		Net:      netsim.NewNetwork(s),
 		TFCState: make(map[*netsim.Switch]*core.SwitchState),
-		Dialer:   &workload.Dialer{Sim: s, Proto: cfg.Proto, MinRTO: cfg.MinRTO},
+		Dialer: &workload.Dialer{
+			Sim: s, Proto: cfg.Proto, MinRTO: cfg.MinRTO,
+			TCPProbe:    cfg.Telemetry.TCPProbe(),
+			CreditProbe: cfg.Telemetry.CreditProbe(),
+		},
 	}
 }
 
@@ -85,17 +116,24 @@ func (e *Env) newSwitch(name string) *netsim.Switch {
 	return sw
 }
 
-// finish computes routes and attaches the protocol machinery to switches.
+// finish computes routes, attaches the protocol machinery to switches,
+// and instruments everything with the trial's telemetry sink (if any).
 func (e *Env) finish(cfg *TopoConfig, markRate netsim.Rate) {
 	e.Net.ComputeRoutes()
+	telemetry.InstrumentNetwork(cfg.Telemetry, e.Net)
 	switch cfg.Proto {
 	case TFC:
+		telemetry.InstrumentTFC(cfg.Telemetry, &cfg.TFC)
 		for _, sw := range e.Switches {
 			e.TFCState[sw] = core.Attach(e.Sim, sw, cfg.TFC)
+			telemetry.RegisterTFCGauges(cfg.Telemetry, e.TFCState[sw], sw)
 		}
 	case DCTCP:
+		onMark := cfg.Telemetry.MarkProbe()
 		for _, sw := range e.Switches {
-			dctcp.AttachMarking(sw, dctcp.KFor(markRate))
+			for _, h := range dctcp.AttachMarking(sw, dctcp.KFor(markRate)) {
+				h.OnMark = onMark
+			}
 		}
 	case CREDIT:
 		for _, sw := range e.Switches {

@@ -32,6 +32,9 @@ type Scheduler struct {
 	sim *sim.Simulator
 	// Log accumulates fired fault transitions in time order.
 	Log []Event
+	// Probe, if set, observes every fired transition as it happens (the
+	// telemetry layer pairs down/up-style transitions into trace spans).
+	Probe func(Event)
 }
 
 // NewScheduler returns a fault scheduler bound to s.
@@ -40,7 +43,11 @@ func NewScheduler(s *sim.Simulator) *Scheduler {
 }
 
 func (f *Scheduler) record(kind, target string) {
-	f.Log = append(f.Log, Event{At: f.sim.Now(), Kind: kind, Target: target})
+	ev := Event{At: f.sim.Now(), Kind: kind, Target: target}
+	f.Log = append(f.Log, ev)
+	if f.Probe != nil {
+		f.Probe(ev)
+	}
 }
 
 // LinkDown blacks out the given ports at time at for duration dur. With

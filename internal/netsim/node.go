@@ -291,6 +291,23 @@ func (e TraceEvent) String() string {
 	return "?"
 }
 
+// Probe observes forwarding-path events for the telemetry layer
+// (internal/telemetry). Implementations must treat the *Packet and *Port
+// arguments as read-only snapshots: copy any fields they need and retain
+// neither pointer — with pooling on, the packet is recycled as soon as
+// the probe returns. Probes run on the simulation's virtual timeline and
+// must not mutate simulation state or draw from its Rand.
+type Probe interface {
+	// PortEnqueue runs after pkt is admitted to p's queue.
+	PortEnqueue(p *Port, pkt *Packet)
+	// PortDequeue runs when pkt leaves the queue to start serialization.
+	PortDequeue(p *Port, pkt *Packet)
+	// PortDrop runs for every drop (wire loss, hook veto, drop-tail, cut).
+	PortDrop(p *Port, pkt *Packet)
+	// LinkState runs when p's link fails (down=true) or recovers.
+	LinkState(p *Port, down bool)
+}
+
 // Network is a collection of nodes plus the shared simulator and routing.
 type Network struct {
 	Sim    *sim.Simulator
@@ -299,6 +316,9 @@ type Network struct {
 	// Trace, when set, receives every packet lifecycle event (tcpdump-like
 	// observability; adds one nil-check per event when unset).
 	Trace func(ev TraceEvent, at sim.Time, where string, pkt *Packet)
+	// Probe, when set, receives forwarding-path telemetry events. Like
+	// Trace, the disabled path is one nil-check per event.
+	Probe Probe
 
 	// PoolPackets opts this network into packet recycling: NewPacket draws
 	// from a free list that ReleasePacket refills when a packet's single

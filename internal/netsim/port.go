@@ -107,6 +107,9 @@ func (p *Port) SetDown(flush bool) {
 	}
 	p.down = true
 	p.cutTx = p.busy
+	if p.net.Probe != nil {
+		p.net.Probe.LinkState(p, true)
+	}
 	if flush {
 		for p.qLen > 0 {
 			pkt := p.popQ()
@@ -123,6 +126,9 @@ func (p *Port) SetUp() {
 		return
 	}
 	p.down = false
+	if p.net.Probe != nil {
+		p.net.Probe.LinkState(p, false)
+	}
 	if !p.busy && p.qLen > 0 {
 		p.startTx()
 	}
@@ -177,6 +183,9 @@ func (p *Port) drop(pkt *Packet) {
 	p.Drops++
 	p.DropBytes += int64(pkt.FrameBytes())
 	p.net.trace(TraceDrop, p.Label, pkt)
+	if p.net.Probe != nil {
+		p.net.Probe.PortDrop(p, pkt)
+	}
 	p.net.ReleasePacket(pkt)
 }
 
@@ -218,6 +227,9 @@ func (p *Port) Enqueue(pkt *Packet) {
 		p.MaxQueue = p.qBytes
 		p.MaxQueueAt = p.sim.Now()
 	}
+	if p.net.Probe != nil {
+		p.net.Probe.PortEnqueue(p, pkt)
+	}
 	if !p.busy {
 		p.startTx()
 	}
@@ -230,6 +242,9 @@ func (p *Port) startTx() {
 	pkt := p.popQ()
 	p.qBytes -= pkt.FrameBytes()
 	p.busy = true
+	if p.net.Probe != nil {
+		p.net.Probe.PortDequeue(p, pkt)
+	}
 	p.sim.ScheduleAfter(p.Rate.TxTime(pkt.WireBytes()), p.net.newEvent(evTxDone, p, pkt))
 }
 

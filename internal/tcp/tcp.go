@@ -50,6 +50,25 @@ type Config struct {
 	// OnComplete fires once, when the flow is closed and fully
 	// acknowledged.
 	OnComplete func()
+
+	// Probe, if set, receives congestion-control telemetry (cwnd moves,
+	// RTO firings, recovery transitions, retransmissions). Disabled path
+	// is one nil-check per event; probes must not mutate sender state.
+	Probe Probe
+}
+
+// Probe observes a connection's congestion control for the telemetry
+// layer (internal/telemetry). All callbacks are read-only observers.
+type Probe interface {
+	// Cwnd runs after any congestion-window change.
+	Cwnd(flow netsim.FlowID, cwnd, ssthresh int64)
+	// RTOFired runs when the retransmission timer expires; backoff is
+	// the exponential-backoff step count including this firing.
+	RTOFired(flow netsim.FlowID, backoff uint)
+	// Recovery runs on fast-recovery entry (enter=true) and exit.
+	Recovery(flow netsim.FlowID, enter bool)
+	// Retransmit runs for every retransmitted segment.
+	Retransmit(flow netsim.FlowID, bytes int64)
 }
 
 func (c *Config) fillDefaults() {
@@ -248,7 +267,17 @@ func (s *Sender) retransmit(seq int64) {
 		return
 	}
 	s.st.RtxBytes += seg
+	if s.cfg.Probe != nil {
+		s.cfg.Probe.Retransmit(s.cfg.Flow, seg)
+	}
 	s.cfg.Local.Send(s.mkData(seq, int(seg)))
+}
+
+// probeCwnd reports the current window to the telemetry probe, if any.
+func (s *Sender) probeCwnd() {
+	if s.cfg.Probe != nil {
+		s.cfg.Probe.Cwnd(s.cfg.Flow, s.cwnd, s.ssthresh)
+	}
 }
 
 func (s *Sender) armRTO() {
@@ -272,6 +301,9 @@ func (s *Sender) onRTO() {
 	}
 	s.st.Timeouts++
 	s.rtoBackoff++
+	if s.cfg.Probe != nil {
+		s.cfg.Probe.RTOFired(s.cfg.Flow, s.rtoBackoff)
+	}
 	if s.state == stateSynSent {
 		s.sendSYN()
 		return
@@ -282,10 +314,17 @@ func (s *Sender) onRTO() {
 	}
 	s.ssthresh = maxI64(fl/2, int64(2*s.cfg.MSS))
 	s.cwnd = int64(s.cfg.MSS)
+	if s.inFR && s.cfg.Probe != nil {
+		s.cfg.Probe.Recovery(s.cfg.Flow, false)
+	}
 	s.sndNxt = s.sndUna // go-back-N
 	s.dupacks = 0
 	s.inFR = false
 	s.st.RtxBytes += minI64(int64(s.cfg.MSS), s.budget-s.sndUna)
+	if s.cfg.Probe != nil {
+		s.cfg.Probe.Retransmit(s.cfg.Flow, minI64(int64(s.cfg.MSS), s.budget-s.sndUna))
+	}
+	s.probeCwnd()
 	s.trySend()
 	s.armRTO()
 }
@@ -331,6 +370,9 @@ func (s *Sender) Deliver(pkt *netsim.Packet) {
 				s.inFR = false
 				s.dupacks = 0
 				s.cwnd = s.ssthresh
+				if s.cfg.Probe != nil {
+					s.cfg.Probe.Recovery(s.cfg.Flow, false)
+				}
 			} else {
 				// Partial ACK (RFC 6582): retransmit the next hole,
 				// deflate, stay in recovery.
@@ -341,6 +383,7 @@ func (s *Sender) Deliver(pkt *netsim.Packet) {
 			s.dupacks = 0
 			s.growCwnd(newly, pkt.Flags&netsim.FlagECE != 0)
 		}
+		s.probeCwnd()
 		if s.flight() > 0 {
 			s.armRTO()
 		} else {
@@ -359,6 +402,7 @@ func (s *Sender) Deliver(pkt *netsim.Packet) {
 		s.dupacks++
 		if s.inFR {
 			s.cwnd += int64(s.cfg.MSS) // window inflation
+			s.probeCwnd()
 			s.trySend()
 		} else if s.dupacks == 3 {
 			s.st.FastRtx++
@@ -366,6 +410,10 @@ func (s *Sender) Deliver(pkt *netsim.Packet) {
 			s.recover = s.sndNxt
 			s.inFR = true
 			s.cwnd = s.ssthresh + int64(3*s.cfg.MSS)
+			if s.cfg.Probe != nil {
+				s.cfg.Probe.Recovery(s.cfg.Flow, true)
+			}
+			s.probeCwnd()
 			s.retransmit(s.sndUna)
 			s.armRTO()
 		}

@@ -1,0 +1,261 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"tfcsim/internal/sim"
+)
+
+// traceEvent is the Chrome trace-event JSON shape (the subset used:
+// 'X' complete spans, 'i' instants, 'C' counters, 'M' metadata).
+// Timestamps are microseconds. encoding/json sorts map keys, so args
+// marshal deterministically.
+type traceEvent struct {
+	Name string             `json:"name"`
+	Cat  string             `json:"cat,omitempty"`
+	Ph   string             `json:"ph"`
+	Ts   float64            `json:"ts"`
+	Dur  float64            `json:"dur,omitempty"`
+	Pid  int                `json:"pid"`
+	Tid  int                `json:"tid"`
+	S    string             `json:"s,omitempty"`
+	Args map[string]float64 `json:"args,omitempty"`
+}
+
+// metaEvent is the 'M' metadata shape naming processes and threads.
+type metaEvent struct {
+	Name string            `json:"name"`
+	Ph   string            `json:"ph"`
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	Args map[string]string `json:"args"`
+}
+
+// traceFile is the object-form trace container Perfetto and
+// chrome://tracing both load.
+type traceFile struct {
+	DisplayTimeUnit string `json:"displayTimeUnit"`
+	TraceEvents     []any  `json:"traceEvents"`
+}
+
+func usec(t sim.Time) float64 { return float64(t) / 1e3 }
+
+func argMap(args []Arg) map[string]float64 {
+	if len(args) == 0 {
+		return nil
+	}
+	m := make(map[string]float64, len(args))
+	for _, a := range args {
+		m[a.K] = a.V
+	}
+	return m
+}
+
+// WriteTrace writes the merged Chrome trace-event JSON for all trials,
+// in trial-key order (pid = sorted key index), so the output is
+// byte-identical regardless of trial completion order or parallelism.
+// Call only after every trial's simulation has finished.
+func (c *Collector) WriteTrace(w io.Writer) error {
+	trials := c.sorted()
+	tf := traceFile{DisplayTimeUnit: "ms", TraceEvents: []any{}}
+	for pid, t := range trials {
+		t.flush()
+		tf.TraceEvents = append(tf.TraceEvents, metaEvent{
+			Name: "process_name", Ph: "M", Pid: pid, Tid: 0,
+			Args: map[string]string{"name": t.key},
+		})
+		for i, track := range t.rec.tidNames {
+			tf.TraceEvents = append(tf.TraceEvents, metaEvent{
+				Name: "thread_name", Ph: "M", Pid: pid, Tid: i + 1,
+				Args: map[string]string{"name": track},
+			})
+		}
+		for _, e := range t.rec.events() {
+			te := traceEvent{
+				Name: e.name, Cat: e.cat, Ph: string(e.ph),
+				Ts: usec(e.ts), Pid: pid, Tid: e.tid, Args: argMap(e.args),
+			}
+			switch e.ph {
+			case 'X':
+				te.Dur = usec(e.dur)
+			case 'i':
+				te.S = "t" // thread-scoped instant
+			}
+			tf.TraceEvents = append(tf.TraceEvents, te)
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(tf)
+}
+
+// Metrics snapshot JSON shapes.
+type metricsFile struct {
+	Schema string         `json:"schema"`
+	Trials []metricsTrial `json:"trials"`
+}
+
+type metricsTrial struct {
+	Key          string        `json:"key"`
+	Counters     []counterJSON `json:"counters"`
+	Gauges       []gaugeJSON   `json:"gauges"`
+	Histograms   []histJSON    `json:"histograms"`
+	TraceEvents  int           `json:"trace_events"`
+	TraceDropped int64         `json:"trace_dropped"`
+}
+
+type counterJSON struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+type gaugeJSON struct {
+	Name string    `json:"name"`
+	TNs  []int64   `json:"t_ns"`
+	V    []float64 `json:"v"`
+}
+
+type histJSON struct {
+	Name   string    `json:"name"`
+	Bounds []float64 `json:"bounds"`
+	Counts []int64   `json:"counts"`
+	Count  int64     `json:"count"`
+	Sum    float64   `json:"sum"`
+}
+
+// WriteMetrics writes the merged metrics snapshot for all trials, keys
+// and metric names sorted, so output is byte-identical at any
+// parallelism.
+func (c *Collector) WriteMetrics(w io.Writer) error {
+	trials := c.sorted()
+	mf := metricsFile{Schema: "tfcsim-metrics-v1", Trials: []metricsTrial{}}
+	for _, t := range trials {
+		mt := metricsTrial{
+			Key:          t.key,
+			Counters:     []counterJSON{},
+			Gauges:       []gaugeJSON{},
+			Histograms:   []histJSON{},
+			TraceEvents:  len(t.rec.buf),
+			TraceDropped: t.rec.dropped,
+		}
+		for _, ctr := range t.reg.counters {
+			mt.Counters = append(mt.Counters, counterJSON{ctr.name, ctr.v})
+		}
+		sort.Slice(mt.Counters, func(i, j int) bool { return mt.Counters[i].Name < mt.Counters[j].Name })
+		for _, g := range t.reg.gauges {
+			gj := gaugeJSON{Name: g.name, TNs: []int64{}, V: []float64{}}
+			for i := range g.series.T {
+				gj.TNs = append(gj.TNs, int64(g.series.T[i]))
+				gj.V = append(gj.V, g.series.V[i])
+			}
+			mt.Gauges = append(mt.Gauges, gj)
+		}
+		sort.Slice(mt.Gauges, func(i, j int) bool { return mt.Gauges[i].Name < mt.Gauges[j].Name })
+		for _, h := range t.reg.hists {
+			mt.Histograms = append(mt.Histograms, histJSON{
+				Name: h.name, Bounds: h.h.Bounds(), Counts: h.h.Counts(),
+				Count: h.h.Count(), Sum: h.h.Sum(),
+			})
+		}
+		sort.Slice(mt.Histograms, func(i, j int) bool { return mt.Histograms[i].Name < mt.Histograms[j].Name })
+		mf.Trials = append(mf.Trials, mt)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(mf)
+}
+
+// WriteFiles writes the trace and/or metrics files named in the
+// collector's Options (empty paths are skipped). Nil-safe.
+func (c *Collector) WriteFiles() error {
+	if c == nil {
+		return nil
+	}
+	if c.opts.TracePath != "" {
+		f, err := os.Create(c.opts.TracePath)
+		if err != nil {
+			return err
+		}
+		if err := c.WriteTrace(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	if c.opts.MetricsPath != "" {
+		f, err := os.Create(c.opts.MetricsPath)
+		if err != nil {
+			return err
+		}
+		if err := c.WriteMetrics(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ValidateTrace checks that r holds trace-event JSON of the shape this
+// package emits (and the viewers load): an object with a traceEvents
+// array whose entries carry a known phase, a name, non-negative
+// microsecond timestamps, and integer pid/tid. Used by cmd/tracecheck
+// and the CI schema gate.
+func ValidateTrace(r io.Reader) error {
+	var tf struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&tf); err != nil {
+		return fmt.Errorf("trace: not valid JSON: %w", err)
+	}
+	if tf.TraceEvents == nil {
+		return fmt.Errorf("trace: missing traceEvents array")
+	}
+	for i, ev := range tf.TraceEvents {
+		ph, ok := ev["ph"].(string)
+		if !ok {
+			return fmt.Errorf("trace: event %d: missing ph", i)
+		}
+		if _, ok := ev["name"].(string); !ok {
+			return fmt.Errorf("trace: event %d: missing name", i)
+		}
+		for _, k := range []string{"pid", "tid"} {
+			v, ok := ev[k].(float64)
+			if !ok || v != float64(int64(v)) {
+				return fmt.Errorf("trace: event %d: %s must be an integer", i, k)
+			}
+		}
+		switch ph {
+		case "M":
+			if _, ok := ev["args"].(map[string]any); !ok {
+				return fmt.Errorf("trace: event %d: metadata without args", i)
+			}
+		case "X", "i", "C":
+			ts, ok := ev["ts"].(float64)
+			if !ok || ts < 0 {
+				return fmt.Errorf("trace: event %d: bad ts", i)
+			}
+			if ph == "X" {
+				if dur, ok := ev["dur"].(float64); ok && dur < 0 {
+					return fmt.Errorf("trace: event %d: negative dur", i)
+				}
+			}
+			if ph == "i" {
+				if s, ok := ev["s"].(string); ok && s != "t" && s != "p" && s != "g" {
+					return fmt.Errorf("trace: event %d: bad instant scope %q", i, s)
+				}
+			}
+		default:
+			return fmt.Errorf("trace: event %d: unknown phase %q", i, ph)
+		}
+	}
+	return nil
+}

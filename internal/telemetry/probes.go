@@ -1,0 +1,429 @@
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+
+	"tfcsim/internal/core"
+	"tfcsim/internal/credit"
+	"tfcsim/internal/faults"
+	"tfcsim/internal/netsim"
+	"tfcsim/internal/sim"
+	"tfcsim/internal/tcp"
+)
+
+// flowName formats the per-flow track/event label.
+func flowName(prefix string, f netsim.FlowID) string {
+	return fmt.Sprintf("%s f%d", prefix, f)
+}
+
+// portKey is a unique, deterministic per-port metric/track suffix.
+// Labels alone can collide (topology builders reuse node names, e.g.
+// every testbed host is "H"); node IDs cannot.
+func portKey(p *netsim.Port) string {
+	return fmt.Sprintf("%s#%d-%d", p.Label, p.Owner.ID(), p.Peer.ID())
+}
+
+// --- netsim: forwarding path ---
+
+type flowTrack struct {
+	start sim.Time
+	bytes int64
+	pkts  int64
+}
+
+// netProbe implements netsim.Probe: forwarding-path counters, per-drop
+// instants, link-down spans, and flow-lifetime spans derived from the
+// sender NIC (first data-direction packet opens the flow, FIN closes
+// it). It copies packet fields and retains no pointers.
+type netProbe struct {
+	t                      *Trial
+	enq, deq, drops, dropB *Counter
+	flows                  map[netsim.FlowID]*flowTrack
+	downAt                 map[string]sim.Time
+}
+
+func (p *netProbe) ensure() {
+	if p.flows != nil {
+		return
+	}
+	p.enq = p.t.Counter("net.enq_pkts")
+	p.deq = p.t.Counter("net.deq_pkts")
+	p.drops = p.t.Counter("net.drops")
+	p.dropB = p.t.Counter("net.drop_bytes")
+	p.flows = make(map[netsim.FlowID]*flowTrack)
+	p.downAt = make(map[string]sim.Time)
+}
+
+func (p *netProbe) PortEnqueue(port *netsim.Port, pkt *netsim.Packet) {
+	p.enq.Inc()
+	if _, isHost := port.Owner.(*netsim.Host); !isHost || pkt.Flags&netsim.FlagACK != 0 {
+		return
+	}
+	// Sender-NIC data direction: track the flow's lifetime exactly once
+	// per packet (every other hop would double-count).
+	if pkt.Flags&netsim.FlagFIN != 0 {
+		if ft := p.flows[pkt.Flow]; ft != nil {
+			p.t.Span("flow", flowName("flow", pkt.Flow), "flows", ft.start, p.t.now(),
+				Arg{"bytes", float64(ft.bytes)}, Arg{"pkts", float64(ft.pkts)})
+			delete(p.flows, pkt.Flow)
+		}
+		return
+	}
+	ft := p.flows[pkt.Flow]
+	if ft == nil {
+		ft = &flowTrack{start: p.t.now()}
+		p.flows[pkt.Flow] = ft
+	}
+	ft.bytes += int64(pkt.Payload)
+	ft.pkts++
+}
+
+func (p *netProbe) PortDequeue(port *netsim.Port, pkt *netsim.Packet) {
+	p.deq.Inc()
+}
+
+func (p *netProbe) PortDrop(port *netsim.Port, pkt *netsim.Packet) {
+	p.drops.Inc()
+	p.dropB.Add(int64(pkt.FrameBytes()))
+	p.t.Instant("net", "drop "+portKey(port), "drops",
+		Arg{"flow", float64(pkt.Flow)}, Arg{"seq", float64(pkt.Seq)})
+}
+
+func (p *netProbe) LinkState(port *netsim.Port, down bool) {
+	key := portKey(port)
+	if down {
+		p.downAt[key] = p.t.now()
+		return
+	}
+	if at, ok := p.downAt[key]; ok {
+		p.t.Span("net", "link-down "+key, "links", at, p.t.now())
+		delete(p.downAt, key)
+	}
+}
+
+func (p *netProbe) flush(now sim.Time) {
+	if p.flows == nil {
+		return
+	}
+	ids := make([]int64, 0, len(p.flows))
+	for f := range p.flows {
+		ids = append(ids, int64(f))
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		f := netsim.FlowID(id)
+		ft := p.flows[f]
+		p.t.Span("flow", flowName("flow", f), "flows", ft.start, now,
+			Arg{"bytes", float64(ft.bytes)}, Arg{"pkts", float64(ft.pkts)},
+			Arg{"open", 1})
+	}
+	labels := make([]string, 0, len(p.downAt))
+	for l := range p.downAt {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	for _, l := range labels {
+		p.t.Span("net", "link-down "+l, "links", p.downAt[l], now, Arg{"open", 1})
+	}
+}
+
+// InstrumentNetwork attaches the trial's forwarding-path probe to the
+// network and registers a queue-occupancy gauge for every switch port.
+// No-op on a nil trial. Call after topology construction and Bind.
+func InstrumentNetwork(t *Trial, n *netsim.Network) {
+	if t == nil {
+		return
+	}
+	t.net.ensure()
+	n.Probe = &t.net
+	for _, node := range n.Nodes() {
+		sw, ok := node.(*netsim.Switch)
+		if !ok {
+			continue
+		}
+		for _, port := range sw.Ports() {
+			t.Gauge("port.qlen."+portKey(port), func() float64 {
+				return float64(port.QueueBytes())
+			})
+		}
+	}
+}
+
+// --- core: TFC control plane ---
+
+type holdKey struct {
+	label string
+	flow  netsim.FlowID
+}
+
+// tfcProbe implements core.Probe: slot counters/histograms, per-slot
+// token/flow-count counter events, and ACK-delay-arbiter hold spans.
+type tfcProbe struct {
+	t                       *Trial
+	slots, stamped, delayed *Counter
+	rttm                    *Hist
+	holdAt                  map[holdKey]sim.Time
+}
+
+func (p *tfcProbe) ensure() {
+	if p.holdAt != nil {
+		return
+	}
+	p.slots = p.t.Counter("tfc.slots")
+	p.stamped = p.t.Counter("tfc.stamped")
+	p.delayed = p.t.Counter("tfc.delayed_acks")
+	// Slot RTTs in microseconds, 1µs .. ~16ms.
+	p.rttm = p.t.Histogram("tfc.rttm_us", 1, 2, 4, 8, 16, 32, 64, 128, 256,
+		512, 1024, 2048, 4096, 8192, 16384)
+	p.holdAt = make(map[holdKey]sim.Time)
+}
+
+func (p *tfcProbe) SlotEnd(port *netsim.Port, info core.SlotInfo) {
+	p.slots.Inc()
+	p.rttm.Observe(info.RTTm.Micros())
+	key := portKey(port)
+	p.t.CounterEvent("tfc", "tfc "+key, key,
+		Arg{"tokens", info.T}, Arg{"eflows", float64(info.E)}, Arg{"window", info.W})
+}
+
+func (p *tfcProbe) WindowStamp(port *netsim.Port, flow netsim.FlowID, window int64) {
+	p.stamped.Inc()
+}
+
+func (p *tfcProbe) DelayHold(port *netsim.Port, flow netsim.FlowID, held int) {
+	p.delayed.Inc()
+	k := holdKey{portKey(port), flow}
+	if _, dup := p.holdAt[k]; !dup {
+		p.holdAt[k] = p.t.now()
+	}
+}
+
+func (p *tfcProbe) DelayGrant(port *netsim.Port, flow netsim.FlowID, held int) {
+	k := holdKey{portKey(port), flow}
+	if at, ok := p.holdAt[k]; ok {
+		p.t.Span("tfc", flowName("ack-hold", flow), port.Label, at, p.t.now(),
+			Arg{"held", float64(held)})
+		delete(p.holdAt, k)
+	}
+}
+
+func (p *tfcProbe) flush(now sim.Time) {
+	if p.holdAt == nil {
+		return
+	}
+	keys := make([]holdKey, 0, len(p.holdAt))
+	for k := range p.holdAt {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].label != keys[j].label {
+			return keys[i].label < keys[j].label
+		}
+		return keys[i].flow < keys[j].flow
+	})
+	for _, k := range keys {
+		p.t.Span("tfc", flowName("ack-hold", k.flow), k.label, p.holdAt[k], now,
+			Arg{"open", 1})
+	}
+}
+
+// InstrumentTFC attaches the trial's TFC probe to a switch config
+// (set it before core.Attach copies the config). No-op on a nil trial.
+func InstrumentTFC(t *Trial, cfg *core.SwitchConfig) {
+	if t == nil {
+		return
+	}
+	t.tfc.ensure()
+	cfg.Probe = &t.tfc
+}
+
+// RegisterTFCGauges registers token / effective-flow / window gauges for
+// every TFC port of a switch. No-op on a nil trial.
+func RegisterTFCGauges(t *Trial, ss *core.SwitchState, sw *netsim.Switch) {
+	if t == nil {
+		return
+	}
+	for _, port := range sw.Ports() {
+		st := ss.PortState(port)
+		if st == nil {
+			continue
+		}
+		key := portKey(port)
+		t.Gauge("switch.tokens."+key, func() float64 { return st.Tokens() })
+		t.Gauge("switch.eflows."+key, func() float64 { return float64(st.EffectiveFlows()) })
+		t.Gauge("switch.window."+key, func() float64 { return st.Window() })
+	}
+}
+
+// --- tcp / dctcp / credit: transports ---
+
+// transportProbe implements both tcp.Probe and credit.Probe (the RTO
+// callback is shared): cwnd histogram + counter events, RTO instants,
+// fast-recovery spans, retransmit byte counters, credit-rate events.
+type transportProbe struct {
+	t                    *Trial
+	rtxBytes, rtos, recs *Counter
+	cwnd                 *Hist
+	frAt                 map[netsim.FlowID]sim.Time
+}
+
+func (p *transportProbe) ensure() {
+	if p.frAt != nil {
+		return
+	}
+	p.rtxBytes = p.t.Counter("tcp.rtx_bytes")
+	p.rtos = p.t.Counter("tcp.rto")
+	p.recs = p.t.Counter("tcp.fast_recovery")
+	p.cwnd = p.t.Histogram("flow.cwnd")
+	p.frAt = make(map[netsim.FlowID]sim.Time)
+}
+
+func (p *transportProbe) Cwnd(flow netsim.FlowID, cwnd, ssthresh int64) {
+	p.cwnd.Observe(float64(cwnd))
+	p.t.CounterEvent("tcp", flowName("cwnd", flow), "cwnd",
+		Arg{"cwnd", float64(cwnd)}, Arg{"ssthresh", float64(ssthresh)})
+}
+
+func (p *transportProbe) RTOFired(flow netsim.FlowID, backoff uint) {
+	p.rtos.Inc()
+	p.t.Instant("tcp", flowName("rto", flow), "rto", Arg{"backoff", float64(backoff)})
+}
+
+func (p *transportProbe) Recovery(flow netsim.FlowID, enter bool) {
+	if enter {
+		p.recs.Inc()
+		if _, dup := p.frAt[flow]; !dup {
+			p.frAt[flow] = p.t.now()
+		}
+		return
+	}
+	if at, ok := p.frAt[flow]; ok {
+		p.t.Span("tcp", flowName("fast-recovery", flow), "recovery", at, p.t.now())
+		delete(p.frAt, flow)
+	}
+}
+
+func (p *transportProbe) Retransmit(flow netsim.FlowID, bytes int64) {
+	p.rtxBytes.Add(bytes)
+}
+
+func (p *transportProbe) CreditRate(flow netsim.FlowID, perSec float64) {
+	p.t.CounterEvent("credit", flowName("credit-rate", flow), "credit",
+		Arg{"rate", perSec})
+}
+
+func (p *transportProbe) flush(now sim.Time) {
+	if p.frAt == nil {
+		return
+	}
+	ids := make([]int64, 0, len(p.frAt))
+	for f := range p.frAt {
+		ids = append(ids, int64(f))
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		f := netsim.FlowID(id)
+		p.t.Span("tcp", flowName("fast-recovery", f), "recovery", p.frAt[f], now,
+			Arg{"open", 1})
+	}
+}
+
+// TCPProbe returns the trial's tcp.Probe (nil for a nil trial), for
+// wiring into tcp.Config / dctcp configs.
+func (t *Trial) TCPProbe() tcp.Probe {
+	if t == nil {
+		return nil
+	}
+	t.tp.ensure()
+	return &t.tp
+}
+
+// CreditProbe returns the trial's credit.Probe (nil for a nil trial).
+func (t *Trial) CreditProbe() credit.Probe {
+	if t == nil {
+		return nil
+	}
+	t.tp.ensure()
+	return &t.tp
+}
+
+// MarkProbe returns a DCTCP marking observer counting CE marks
+// (nil for a nil trial), for dctcp.MarkHook.OnMark.
+func (t *Trial) MarkProbe() func(*netsim.Port, netsim.FlowID) {
+	if t == nil {
+		return nil
+	}
+	c := t.Counter("dctcp.marked")
+	return func(port *netsim.Port, flow netsim.FlowID) { c.Inc() }
+}
+
+// --- faults: injection windows as spans ---
+
+// faultEnd maps a window-closing transition to its opener.
+var faultEnd = map[string]string{
+	"link-up":      "link-down",
+	"rate-restore": "rate-degrade",
+	"loss-off":     "loss-on",
+	"host-resume":  "host-pause",
+}
+
+type openFault struct {
+	kind string
+	at   sim.Time
+}
+
+// faultProbe turns fault-scheduler transitions into trace spans: each
+// down/up-style pair becomes one span covering the injection window.
+type faultProbe struct {
+	t     *Trial
+	count *Counter
+	open  map[string]openFault // keyed start-kind + target
+}
+
+func (p *faultProbe) ensure() {
+	if p.open != nil {
+		return
+	}
+	p.count = p.t.Counter("faults.transitions")
+	p.open = make(map[string]openFault)
+}
+
+func (p *faultProbe) observe(ev faults.Event) {
+	p.count.Inc()
+	if start, isEnd := faultEnd[ev.Kind]; isEnd {
+		key := start + " " + ev.Target
+		if o, ok := p.open[key]; ok {
+			p.t.Span("fault", key, "faults", o.at, ev.At)
+			delete(p.open, key)
+			return
+		}
+		p.t.Instant("fault", ev.Kind+" "+ev.Target, "faults")
+		return
+	}
+	p.open[ev.Kind+" "+ev.Target] = openFault{kind: ev.Kind, at: ev.At}
+}
+
+func (p *faultProbe) flush(now sim.Time) {
+	if p.open == nil {
+		return
+	}
+	keys := make([]string, 0, len(p.open))
+	for k := range p.open {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		p.t.Span("fault", k, "faults", p.open[k].at, now, Arg{"open", 1})
+	}
+}
+
+// FaultProbe returns an observer for faults.Scheduler.Probe
+// (nil for a nil trial).
+func (t *Trial) FaultProbe() func(faults.Event) {
+	if t == nil {
+		return nil
+	}
+	t.flt.ensure()
+	return t.flt.observe
+}

@@ -1,0 +1,74 @@
+package telemetry
+
+import "tfcsim/internal/sim"
+
+// Arg is one numeric key/value attached to a recorded event. Trace
+// events carry only numbers: strings would force per-event allocation on
+// the hot path and everything the viewers graph is numeric anyway.
+type Arg struct {
+	K string
+	V float64
+}
+
+// event is one recorded trace event. ph follows the Chrome trace-event
+// phases used here: 'X' complete span (ts+dur), 'i' instant, 'C' counter.
+type event struct {
+	name string
+	cat  string
+	ph   byte
+	ts   sim.Time
+	dur  sim.Time
+	tid  int
+	args []Arg
+}
+
+// recorder is a bounded ring of events. When full, the oldest events are
+// overwritten (a trial's tail is usually the interesting part) and
+// counted in dropped. Track names are interned to small integer tids in
+// first-use order — deterministic because the simulation is.
+type recorder struct {
+	buf     []event
+	head    int // index of the oldest event
+	n       int
+	dropped int64
+
+	tidIdx   map[string]int
+	tidNames []string
+}
+
+func (r *recorder) init(cap int) {
+	r.buf = make([]event, 0, cap)
+	r.tidIdx = make(map[string]int)
+}
+
+// tid interns a track name. tid 0 is reserved for process metadata.
+func (r *recorder) tid(track string) int {
+	if id, ok := r.tidIdx[track]; ok {
+		return id
+	}
+	id := len(r.tidNames) + 1
+	r.tidIdx[track] = id
+	r.tidNames = append(r.tidNames, track)
+	return id
+}
+
+func (r *recorder) push(e event) {
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, e)
+		r.n++
+		return
+	}
+	// Full: overwrite the oldest.
+	r.buf[r.head] = e
+	r.head = (r.head + 1) % len(r.buf)
+	r.dropped++
+}
+
+// events returns the recorded events oldest-first.
+func (r *recorder) events() []event {
+	out := make([]event, 0, len(r.buf))
+	for i := 0; i < len(r.buf); i++ {
+		out = append(out, r.buf[(r.head+i)%len(r.buf)])
+	}
+	return out
+}

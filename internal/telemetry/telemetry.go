@@ -1,0 +1,263 @@
+// Package telemetry is the simulation-native observability layer: a
+// typed metrics registry (counters, gauges, fixed-bucket histograms)
+// sampled on a virtual-time cadence, and a bounded ring-buffer event
+// recorder that exports Chrome trace-event JSON loadable in Perfetto or
+// chrome://tracing.
+//
+// Everything is driven by the simulator's virtual clock — no wall time
+// anywhere — so telemetry output is a pure function of the trial seed
+// and merges byte-identically at any runner parallelism. Probes are
+// read-only observers: they never mutate simulation state and never
+// draw from the simulation's random source, so attaching telemetry
+// changes no experiment result.
+//
+// The layer has two halves:
+//
+//   - a Collector owns the per-run output files and mints one Trial per
+//     experiment trial (keyed; keys order the merged output);
+//   - a Trial owns one simulator's registry + recorder and hands out
+//     the probe adapters that the instrumented packages (netsim, core,
+//     tcp, credit, dctcp, faults) call through their nil-checked hook
+//     fields. A nil *Trial disables everything at zero cost.
+package telemetry
+
+import (
+	"sort"
+	"sync"
+
+	"tfcsim/internal/sim"
+)
+
+// Options configures a telemetry Collector.
+type Options struct {
+	// TracePath, if non-empty, is where WriteFiles writes the merged
+	// Chrome trace-event JSON.
+	TracePath string
+	// MetricsPath, if non-empty, is where WriteFiles writes the merged
+	// metrics snapshot JSON.
+	MetricsPath string
+	// SampleEvery is the virtual-time gauge sampling cadence
+	// (default 1ms).
+	SampleEvery sim.Time
+	// RingCap bounds the per-trial event recorder; when full, the oldest
+	// events are overwritten and counted as dropped (default 65536).
+	RingCap int
+}
+
+func (o *Options) fill() {
+	if o.SampleEvery <= 0 {
+		o.SampleEvery = sim.Millisecond
+	}
+	if o.RingCap <= 0 {
+		o.RingCap = 1 << 16
+	}
+}
+
+// Collector owns the telemetry of one experiment run. Trial() is safe to
+// call from concurrent runner workers; each Trial is then used only from
+// its own trial goroutine. A nil *Collector mints nil *Trials, which
+// disable all instrumentation.
+type Collector struct {
+	opts   Options
+	mu     sync.Mutex
+	trials map[string]*Trial
+}
+
+// NewCollector creates a collector with the given options.
+func NewCollector(opts Options) *Collector {
+	opts.fill()
+	return &Collector{opts: opts, trials: make(map[string]*Trial)}
+}
+
+// Options returns the collector's (filled) options.
+func (c *Collector) Options() Options { return c.opts }
+
+// Trial mints the telemetry sink for one trial. key must be unique for
+// the run and deterministic (derive it from the trial index and grid
+// parameters, never from timing): keys are the merge order of the
+// exported files. Duplicate keys panic — two trials sharing a sink would
+// race and corrupt the output.
+func (c *Collector) Trial(key string) *Trial {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.trials[key]; dup {
+		panic("telemetry: duplicate trial key " + key)
+	}
+	t := newTrial(key, c.opts)
+	c.trials[key] = t
+	return t
+}
+
+// sorted returns the trials in key order (the deterministic merge order).
+func (c *Collector) sorted() []*Trial {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	keys := make([]string, 0, len(c.trials))
+	for k := range c.trials {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]*Trial, len(keys))
+	for i, k := range keys {
+		out[i] = c.trials[k]
+	}
+	return out
+}
+
+// Trial is the telemetry sink of one simulation trial: a metrics
+// registry, an event recorder, and the probe state threaded through the
+// instrumented packages. All methods are nil-safe; a nil *Trial is the
+// disabled state.
+type Trial struct {
+	key  string
+	opts Options
+	sim  *sim.Simulator
+	reg  registry
+	rec  recorder
+
+	stopSample bool
+	flushed    bool
+
+	net netProbe
+	tfc tfcProbe
+	tp  transportProbe
+	flt faultProbe
+}
+
+func newTrial(key string, opts Options) *Trial {
+	t := &Trial{key: key, opts: opts}
+	t.rec.init(opts.RingCap)
+	t.net.t = t
+	t.tfc.t = t
+	t.tp.t = t
+	t.flt.t = t
+	return t
+}
+
+// Key returns the trial's merge key ("" for a nil trial).
+func (t *Trial) Key() string {
+	if t == nil {
+		return ""
+	}
+	return t.key
+}
+
+// Bind attaches the trial to its simulator and starts the virtual-time
+// gauge sampling cadence. One trial binds exactly one simulator; a
+// second Bind panics (it would mean two trials share a sink). Nil-safe.
+func (t *Trial) Bind(s *sim.Simulator) {
+	if t == nil || s == nil {
+		return
+	}
+	if t.sim != nil {
+		panic("telemetry: trial " + t.key + " bound twice")
+	}
+	t.sim = s
+	var tick func()
+	tick = func() {
+		if t.stopSample {
+			return
+		}
+		t.reg.sample(s.Now())
+		s.After(t.opts.SampleEvery, tick)
+	}
+	s.After(t.opts.SampleEvery, tick)
+}
+
+// StopSampling ends the gauge cadence (optional; sampling otherwise runs
+// for the life of the simulation). Nil-safe.
+func (t *Trial) StopSampling() {
+	if t != nil {
+		t.stopSample = true
+	}
+}
+
+// now returns the trial's virtual time (0 before Bind).
+func (t *Trial) now() sim.Time {
+	if t.sim == nil {
+		return 0
+	}
+	return t.sim.Now()
+}
+
+// flush closes all open spans (flows still running, links still down,
+// faults still active) at the current virtual time. Export calls it;
+// idempotent.
+func (t *Trial) flush() {
+	if t == nil || t.flushed {
+		return
+	}
+	t.flushed = true
+	now := t.now()
+	t.net.flush(now)
+	t.tfc.flush(now)
+	t.tp.flush(now)
+	t.flt.flush(now)
+}
+
+// --- registry surface (nil-safe wrappers) ---
+
+// Counter returns the named counter, creating it on first use.
+// Returns nil on a nil trial; Counter.Add on a nil counter is a no-op.
+func (t *Trial) Counter(name string) *Counter {
+	if t == nil {
+		return nil
+	}
+	return t.reg.counter(name)
+}
+
+// Gauge registers a callback polled every SampleEvery of virtual time.
+// fn must be a pure read of simulation state. No-op on a nil trial;
+// duplicate names panic.
+func (t *Trial) Gauge(name string, fn func() float64) {
+	if t == nil {
+		return
+	}
+	t.reg.gauge(name, fn)
+}
+
+// Histogram returns the named fixed-bucket histogram, creating it with
+// the given ascending bucket bounds on first use (later calls may omit
+// bounds). Returns nil on a nil trial; Observe on a nil Hist is a no-op.
+func (t *Trial) Histogram(name string, bounds ...float64) *Hist {
+	if t == nil {
+		return nil
+	}
+	return t.reg.histogram(name, bounds)
+}
+
+// --- recorder surface (nil-safe wrappers) ---
+
+// Span records a completed span [start, end] on the named track.
+func (t *Trial) Span(cat, name, track string, start, end sim.Time, args ...Arg) {
+	if t == nil {
+		return
+	}
+	if end < start {
+		end = start
+	}
+	t.rec.push(event{name: name, cat: cat, ph: 'X', ts: start, dur: end - start,
+		tid: t.rec.tid(track), args: args})
+}
+
+// Instant records a point event at the current virtual time.
+func (t *Trial) Instant(cat, name, track string, args ...Arg) {
+	if t == nil {
+		return
+	}
+	t.rec.push(event{name: name, cat: cat, ph: 'i', ts: t.now(),
+		tid: t.rec.tid(track), args: args})
+}
+
+// CounterEvent records a counter sample (graphed as a series in
+// Perfetto) at the current virtual time.
+func (t *Trial) CounterEvent(cat, name, track string, args ...Arg) {
+	if t == nil {
+		return
+	}
+	t.rec.push(event{name: name, cat: cat, ph: 'C', ts: t.now(),
+		tid: t.rec.tid(track), args: args})
+}

@@ -1,0 +1,306 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"tfcsim/internal/faults"
+	"tfcsim/internal/sim"
+)
+
+func TestNilTrialIsDisabled(t *testing.T) {
+	var tr *Trial
+	// Every surface must be a safe no-op on the nil (disabled) trial.
+	tr.Bind(sim.New(1))
+	tr.Counter("x").Add(5)
+	tr.Counter("x").Inc()
+	if v := tr.Counter("x").Value(); v != 0 {
+		t.Fatalf("nil counter value = %d, want 0", v)
+	}
+	tr.Gauge("g", func() float64 { return 1 })
+	tr.Histogram("h").Observe(3)
+	tr.Span("c", "n", "tr", 0, 10)
+	tr.Instant("c", "n", "tr")
+	tr.CounterEvent("c", "n", "tr")
+	tr.StopSampling()
+	tr.flush()
+	if tr.Key() != "" {
+		t.Fatalf("nil trial key = %q", tr.Key())
+	}
+	if p := tr.TCPProbe(); p != nil {
+		t.Fatalf("nil trial TCPProbe = %v, want nil interface", p)
+	}
+	if p := tr.CreditProbe(); p != nil {
+		t.Fatalf("nil trial CreditProbe = %v, want nil interface", p)
+	}
+	if f := tr.MarkProbe(); f != nil {
+		t.Fatal("nil trial MarkProbe should be nil")
+	}
+	if f := tr.FaultProbe(); f != nil {
+		t.Fatal("nil trial FaultProbe should be nil")
+	}
+}
+
+func TestNilCollectorMintsNilTrials(t *testing.T) {
+	var c *Collector
+	if tr := c.Trial("k"); tr != nil {
+		t.Fatal("nil collector should mint nil trials")
+	}
+	if err := c.WriteFiles(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCollectorDuplicateKeyPanics(t *testing.T) {
+	c := NewCollector(Options{})
+	c.Trial("a")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate trial key should panic")
+		}
+	}()
+	c.Trial("a")
+}
+
+func TestBindTwicePanics(t *testing.T) {
+	tr := NewCollector(Options{}).Trial("a")
+	tr.Bind(sim.New(1))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second Bind should panic")
+		}
+	}()
+	tr.Bind(sim.New(2))
+}
+
+func TestGaugeSamplingCadence(t *testing.T) {
+	tr := NewCollector(Options{SampleEvery: sim.Millisecond}).Trial("a")
+	s := sim.New(1)
+	var calls int
+	tr.Gauge("g", func() float64 { calls++; return float64(calls) })
+	tr.Bind(s)
+	s.RunUntil(10 * sim.Millisecond)
+	// Samples at 1ms..10ms inclusive (the tick at exactly 10ms runs).
+	if calls < 9 || calls > 11 {
+		t.Fatalf("gauge sampled %d times over 10ms at 1ms cadence", calls)
+	}
+	tr.StopSampling()
+	before := calls
+	s.RunUntil(20 * sim.Millisecond)
+	if calls != before {
+		t.Fatalf("gauge sampled after StopSampling: %d -> %d", before, calls)
+	}
+}
+
+func TestRecorderRingOverwrite(t *testing.T) {
+	var r recorder
+	r.init(4)
+	for i := 0; i < 7; i++ {
+		r.push(event{name: string(rune('a' + i)), ph: 'i', ts: sim.Time(i)})
+	}
+	if r.dropped != 3 {
+		t.Fatalf("dropped = %d, want 3", r.dropped)
+	}
+	evs := r.events()
+	if len(evs) != 4 {
+		t.Fatalf("len(events) = %d, want 4", len(evs))
+	}
+	// Oldest-first: d, e, f, g survive.
+	want := []string{"d", "e", "f", "g"}
+	for i, e := range evs {
+		if e.name != want[i] {
+			t.Fatalf("event %d = %q, want %q", i, e.name, want[i])
+		}
+	}
+}
+
+func TestRecorderTidInterning(t *testing.T) {
+	var r recorder
+	r.init(8)
+	a := r.tid("alpha")
+	b := r.tid("beta")
+	if a != 1 || b != 2 {
+		t.Fatalf("tids = %d,%d; want first-use order starting at 1", a, b)
+	}
+	if again := r.tid("alpha"); again != a {
+		t.Fatalf("re-interning alpha gave %d, want %d", again, a)
+	}
+}
+
+func TestSpanClampsNegativeDuration(t *testing.T) {
+	tr := NewCollector(Options{}).Trial("a")
+	tr.Span("c", "n", "tr", 10, 5)
+	evs := tr.rec.events()
+	if len(evs) != 1 || evs[0].dur != 0 {
+		t.Fatalf("span with end<start should clamp dur to 0, got %+v", evs)
+	}
+}
+
+func TestDuplicateGaugePanics(t *testing.T) {
+	tr := NewCollector(Options{}).Trial("a")
+	tr.Gauge("g", func() float64 { return 0 })
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate gauge should panic")
+		}
+	}()
+	tr.Gauge("g", func() float64 { return 0 })
+}
+
+func TestCounterAndHistogramIdempotentByName(t *testing.T) {
+	tr := NewCollector(Options{}).Trial("a")
+	c1 := tr.Counter("c")
+	c1.Add(2)
+	tr.Counter("c").Add(3)
+	if v := c1.Value(); v != 5 {
+		t.Fatalf("counter = %d, want 5 (same instance by name)", v)
+	}
+	h1 := tr.Histogram("h", 1, 2, 4)
+	h1.Observe(1.5)
+	tr.Histogram("h").Observe(3)
+	if n := h1.h.Count(); n != 2 {
+		t.Fatalf("histogram count = %d, want 2 (same instance by name)", n)
+	}
+}
+
+func TestFaultProbePairsWindows(t *testing.T) {
+	tr := NewCollector(Options{}).Trial("a")
+	tr.Bind(sim.New(1))
+	obs := tr.FaultProbe()
+	obs(faults.Event{At: 10, Kind: "link-down", Target: "sw->h"})
+	obs(faults.Event{At: 40, Kind: "link-up", Target: "sw->h"})
+	tr.flush()
+	var span *event
+	for _, e := range tr.rec.events() {
+		if e.ph == 'X' && e.cat == "fault" {
+			span = &e
+			break
+		}
+	}
+	if span == nil {
+		t.Fatal("no fault span recorded")
+	}
+	if span.ts != 10 || span.dur != 30 {
+		t.Fatalf("fault span [%d +%d], want [10 +30]", span.ts, span.dur)
+	}
+	if tr.Counter("faults.transitions").Value() != 2 {
+		t.Fatalf("transitions = %d, want 2", tr.Counter("faults.transitions").Value())
+	}
+}
+
+// fill one collector with a fixed set of trials whose insertion order is
+// permuted by `order`, as parallel runners would.
+func buildCollector(order []string) *Collector {
+	c := NewCollector(Options{})
+	for _, key := range order {
+		tr := c.Trial(key)
+		s := sim.New(int64(len(key)))
+		tr.Gauge("z.gauge", func() float64 { return float64(s.Now()) })
+		tr.Gauge("a.gauge", func() float64 { return 1 })
+		tr.Bind(s)
+		s.RunUntil(5 * sim.Millisecond)
+		tr.Counter("b.count").Add(int64(len(key)))
+		tr.Counter("a.count").Inc()
+		tr.Histogram("h", 1, 10, 100).Observe(float64(len(key)))
+		tr.Span("cat", "span "+key, "track", 0, 100)
+		tr.Instant("cat", "hit "+key, "other")
+	}
+	return c
+}
+
+func TestExportDeterministicAcrossInsertionOrder(t *testing.T) {
+	a := buildCollector([]string{"t1", "t2", "t3"})
+	b := buildCollector([]string{"t3", "t1", "t2"})
+	var ta, tb, ma, mb bytes.Buffer
+	if err := a.WriteTrace(&ta); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.WriteTrace(&tb); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ta.Bytes(), tb.Bytes()) {
+		t.Error("trace output depends on trial insertion order")
+	}
+	if err := a.WriteMetrics(&ma); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.WriteMetrics(&mb); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ma.Bytes(), mb.Bytes()) {
+		t.Error("metrics output depends on trial insertion order")
+	}
+}
+
+func TestWriteTraceValidates(t *testing.T) {
+	c := buildCollector([]string{"x", "y"})
+	var buf bytes.Buffer
+	if err := c.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateTrace(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("emitted trace fails own validation: %v", err)
+	}
+}
+
+func TestValidateTraceRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"not json":       "{",
+		"no traceEvents": `{"displayTimeUnit":"ms"}`,
+		"bad phase":      `{"traceEvents":[{"name":"x","ph":"Q","ts":0,"pid":0,"tid":0}]}`,
+		"missing name":   `{"traceEvents":[{"ph":"i","ts":0,"pid":0,"tid":0}]}`,
+		"float pid":      `{"traceEvents":[{"name":"x","ph":"i","ts":0,"pid":0.5,"tid":0}]}`,
+		"negative ts":    `{"traceEvents":[{"name":"x","ph":"i","ts":-1,"pid":0,"tid":0}]}`,
+		"meta no args":   `{"traceEvents":[{"name":"process_name","ph":"M","pid":0,"tid":0}]}`,
+	}
+	for name, in := range cases {
+		if err := ValidateTrace(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: ValidateTrace accepted malformed input", name)
+		}
+	}
+}
+
+func TestMetricsSnapshotShape(t *testing.T) {
+	c := buildCollector([]string{"k"})
+	var buf bytes.Buffer
+	if err := c.WriteMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var mf struct {
+		Schema string `json:"schema"`
+		Trials []struct {
+			Key      string `json:"key"`
+			Counters []struct {
+				Name  string `json:"name"`
+				Value int64  `json:"value"`
+			} `json:"counters"`
+			Gauges []struct {
+				Name string    `json:"name"`
+				TNs  []int64   `json:"t_ns"`
+				V    []float64 `json:"v"`
+			} `json:"gauges"`
+		} `json:"trials"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &mf); err != nil {
+		t.Fatal(err)
+	}
+	if mf.Schema != "tfcsim-metrics-v1" {
+		t.Fatalf("schema = %q", mf.Schema)
+	}
+	if len(mf.Trials) != 1 || mf.Trials[0].Key != "k" {
+		t.Fatalf("trials = %+v", mf.Trials)
+	}
+	tr := mf.Trials[0]
+	// Counters and gauges must come out name-sorted.
+	if tr.Counters[0].Name != "a.count" || tr.Counters[1].Name != "b.count" {
+		t.Fatalf("counters not sorted: %+v", tr.Counters)
+	}
+	if tr.Gauges[0].Name != "a.gauge" || tr.Gauges[1].Name != "z.gauge" {
+		t.Fatalf("gauges not sorted: %+v", tr.Gauges)
+	}
+	if len(tr.Gauges[0].TNs) != len(tr.Gauges[0].V) || len(tr.Gauges[0].TNs) == 0 {
+		t.Fatalf("gauge series malformed: %+v", tr.Gauges[0])
+	}
+}

@@ -45,6 +45,12 @@ type Dialer struct {
 	MSS    int
 	MinRTO sim.Time
 	IDs    transport.IDGen
+	// TCPProbe, if set, observes cwnd/RTO/recovery transitions of tcp and
+	// dctcp senders (telemetry).
+	TCPProbe tcp.Probe
+	// CreditProbe, if set, observes RTOs and credit-rate updates of credit
+	// senders (telemetry).
+	CreditProbe credit.Probe
 }
 
 // Dial wires a (src -> dst) connection. onDrain fires whenever all queued
@@ -63,21 +69,21 @@ func (d *Dialer) Dial(src, dst *netsim.Host, onDrain, onComplete func()) *Conn {
 		s, r := dctcp.Dial(tcp.Config{
 			Sim: d.Sim, Local: src, Peer: dst, Flow: flow,
 			MSS: d.MSS, MinRTO: d.MinRTO,
-			OnDrain: onDrain, OnComplete: onComplete,
+			OnDrain: onDrain, OnComplete: onComplete, Probe: d.TCPProbe,
 		})
 		return &Conn{Flow: flow, Sender: s, Received: r.Received, SRTT: s.SRTT}
 	case TCP:
 		s, r := tcp.Dial(tcp.Config{
 			Sim: d.Sim, Local: src, Peer: dst, Flow: flow,
 			MSS: d.MSS, MinRTO: d.MinRTO,
-			OnDrain: onDrain, OnComplete: onComplete,
+			OnDrain: onDrain, OnComplete: onComplete, Probe: d.TCPProbe,
 		})
 		return &Conn{Flow: flow, Sender: s, Received: r.Received, SRTT: s.SRTT}
 	case CREDIT:
 		s, r := credit.Dial(credit.Config{
 			Sim: d.Sim, Local: src, Peer: dst, Flow: flow,
 			MSS: d.MSS, MinRTO: d.MinRTO,
-			OnDrain: onDrain, OnComplete: onComplete,
+			OnDrain: onDrain, OnComplete: onComplete, Probe: d.CreditProbe,
 		})
 		return &Conn{Flow: flow, Sender: s, Received: r.Received, SRTT: s.SRTT}
 	default:

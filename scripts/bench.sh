@@ -13,8 +13,10 @@ label="${1:-1}"
 txt="BENCH_${label}.txt"
 json="BENCH_${label}.json"
 
-# The headline benchmark, repeated for a distribution benchstat can consume.
-go test -run '^$' -bench '^BenchmarkEngineThroughput$' -count=5 . | tee "$txt"
+# The headline benchmarks (telemetry-off and telemetry-on engine paths),
+# repeated for a distribution benchstat can consume. The -off figures are
+# the regression gate; the -on delta is the telemetry layer's budget.
+go test -run '^$' -bench '^BenchmarkEngineThroughput(Telemetry)?$' -count=5 . | tee "$txt"
 
 # The hot-path microbenchmarks, one pass each.
 go test -run '^$' -bench '^Benchmark(TimerChurn|TimerChurnStop|EventTarget|HeapDepth)' ./internal/sim/ | tee -a "$txt"

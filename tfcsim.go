@@ -45,6 +45,7 @@ import (
 	"tfcsim/internal/dctcp"
 	"tfcsim/internal/netsim"
 	"tfcsim/internal/sim"
+	"tfcsim/internal/telemetry"
 	"tfcsim/internal/workload"
 )
 
@@ -88,6 +89,13 @@ type (
 	TFCSwitchState = core.SwitchState
 	// SlotInfo reports one completed TFC time slot.
 	SlotInfo = core.SlotInfo
+
+	// TelemetryOptions configures the optional observability layer
+	// (RunOptions.Telemetry): trace/metrics output paths, gauge sampling
+	// cadence, event-ring capacity.
+	TelemetryOptions = telemetry.Options
+	// TelemetryCollector is a run's merged telemetry (Result.Telemetry).
+	TelemetryCollector = telemetry.Collector
 )
 
 // Time units.

@@ -8,6 +8,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"tfcsim/internal/telemetry"
 )
 
 func TestFacadeQuickstart(t *testing.T) {
@@ -224,6 +226,77 @@ func TestCSVExportByteIdentical(t *testing.T) {
 		if !bytes.Equal(a, b) {
 			t.Errorf("%s differs between identical-seed runs (parallelism 1 vs 8)", ent.Name())
 		}
+	}
+}
+
+func TestTelemetryExportByteIdentical(t *testing.T) {
+	// The telemetry trace and metrics files are part of the deterministic
+	// output surface: trials are merged in key order, so the same
+	// (experiment, scale, seed) must yield byte-identical files at any
+	// parallelism. fig12 is the multi-trial grid sweep, the case where
+	// trial completion order actually varies with -j.
+	e, ok := Find("fig12")
+	if !ok {
+		t.Fatal("fig12 not in registry")
+	}
+	dirA, dirB := t.TempDir(), t.TempDir()
+	run := func(dir string, par int) {
+		t.Helper()
+		opts := RunOptions{Scale: Quick, Seed: 7, Parallelism: par, Telemetry: &telemetry.Options{
+			TracePath:   filepath.Join(dir, "trace.json"),
+			MetricsPath: filepath.Join(dir, "metrics.json"),
+		}}
+		if _, err := e.Run(context.Background(), opts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run(dirA, 1)
+	run(dirB, 8)
+	for _, name := range []string{"trace.json", "metrics.json"} {
+		a, err := os.ReadFile(filepath.Join(dirA, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := os.ReadFile(filepath.Join(dirB, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Errorf("%s differs between identical-seed runs (parallelism 1 vs 8)", name)
+		}
+	}
+	f, err := os.Open(filepath.Join(dirA, "trace.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := telemetry.ValidateTrace(f); err != nil {
+		t.Errorf("exported trace fails schema validation: %v", err)
+	}
+}
+
+func TestTelemetryResultsNeutral(t *testing.T) {
+	// Attaching telemetry must not perturb any experiment result: probes
+	// are read-only observers and never touch the simulation's Rand.
+	e, ok := Find("fig08-10")
+	if !ok {
+		t.Fatal("fig08-10 not in registry")
+	}
+	plain, err := e.Run(context.Background(), RunOptions{Scale: Quick, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	traced, err := e.Run(context.Background(), RunOptions{Scale: Quick, Seed: 7, Telemetry: &telemetry.Options{
+		TracePath: filepath.Join(dir, "trace.json"),
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Text is the full results table; Events is excluded because the gauge
+	// sampling cadence adds (result-neutral) timer events of its own.
+	if plain.Text != traced.Text {
+		t.Error("experiment output changed when telemetry was attached")
 	}
 }
 
