@@ -287,7 +287,7 @@ func BenchmarkEngineThroughputTelemetry(b *testing.B) {
 		net.Connect(sw, h2, LinkConfig{Rate: 10 * Gbps, Delay: 5 * Microsecond, BufA: 1 << 20})
 		net.ComputeRoutes()
 		telemetry.InstrumentNetwork(tel, net)
-		d := &Dialer{Sim: s, Proto: TCP, TCPProbe: tel.TCPProbe()}
+		d := &Dialer{Sim: s, Proto: TCP, Probe: tel.DialProbe}
 		conn := d.Dial(h1, h2, nil, nil)
 		conn.Sender.Open()
 		conn.Sender.Send(1 << 30)

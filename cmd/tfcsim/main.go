@@ -7,8 +7,8 @@
 // Usage:
 //
 //	tfcsim list
-//	tfcsim run <experiment> [-scale quick|paper] [-j N] [-seed N] [-out FILE] [-csv DIR] [-trace FILE] [-metrics FILE] [-v]
-//	tfcsim all [-scale quick|paper] [-j N] [-seed N] [-out FILE] [-csv DIR] [-trace FILE] [-metrics FILE] [-v]
+//	tfcsim run <experiment> [-scale quick|paper] [-proto a,b,...] [-j N] [-seed N] [-out FILE] [-csv DIR] [-trace FILE] [-metrics FILE] [-v]
+//	tfcsim all [-scale quick|paper] [-proto a,b,...] [-j N] [-seed N] [-out FILE] [-csv DIR] [-trace FILE] [-metrics FILE] [-v]
 //	tfcsim verify
 package main
 
@@ -39,6 +39,8 @@ Usage:
 
 Flags for run/all:
   -scale quick|paper   experiment scale (default quick)
+  -proto a,b,...       restrict protocol-matrix experiments to these
+                       registered transports (registered: %s)
   -j N                 parallel trials (default GOMAXPROCS = %d; 1 = serial)
   -seed N              base seed; trial seeds derive from (seed, trial index)
   -out FILE            also write output to this file
@@ -48,7 +50,7 @@ Flags for run/all:
   -v                   print per-trial progress to stderr
   -cpuprofile FILE     write a CPU profile of the run (go tool pprof)
   -memprofile FILE     write a heap profile taken after the run
-`, runtime.GOMAXPROCS(0))
+`, strings.Join(tfcsim.Protocols(), ", "), runtime.GOMAXPROCS(0))
 	os.Exit(2)
 }
 
@@ -72,6 +74,8 @@ func main() {
 	case "run", "all":
 		fs := flag.NewFlagSet(os.Args[1], flag.ExitOnError)
 		scale := fs.String("scale", "quick", "experiment scale: quick or paper")
+		protoFlag := fs.String("proto", "",
+			"comma-separated protocol subset for matrix experiments (empty = experiment defaults)")
 		jobs := fs.Int("j", 0, "parallel trials (0 = GOMAXPROCS)")
 		seed := fs.Int64("seed", 1, "base seed for per-trial seed derivation")
 		out := fs.String("out", "", "also write output to this file")
@@ -131,6 +135,20 @@ func main() {
 			Seed:        *seed,
 			Parallelism: *jobs,
 			CSVDir:      *csv,
+		}
+		if *protoFlag != "" {
+			for _, p := range strings.Split(*protoFlag, ",") {
+				p = strings.TrimSpace(p)
+				if p == "" {
+					continue
+				}
+				if !tfcsim.ProtocolRegistered(p) {
+					fmt.Fprintf(os.Stderr, "tfcsim: unknown protocol %q (registered: %s)\n",
+						p, strings.Join(tfcsim.Protocols(), ", "))
+					usage()
+				}
+				opts.Protos = append(opts.Protos, tfcsim.Proto(p))
+			}
 		}
 		if *verbose {
 			opts.Progress = func(ev tfcsim.ProgressEvent) {

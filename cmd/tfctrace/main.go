@@ -1,36 +1,38 @@
 // Command tfctrace runs a small two-flow scenario and prints a
 // tcpdump-style packet lifecycle trace, which is the quickest way to watch
-// TFC's control machinery (RM-marked rounds, switch window stamping, RMA
-// grants, delay-arbiter pacing) in action.
+// a transport's control machinery (TFC's RM-marked rounds and window
+// stamping, BFC's XOF/XON backpressure, DCTCP's CE marks) in action.
 //
 // Usage:
 //
-//	tfctrace [-proto tfc|tcp|dctcp] [-flows N] [-us N] [-max N] [-flow id]
+//	tfctrace [-proto NAME] [-flows N] [-us N] [-max N] [-flow id]
 //
-// -flow 0 (the default) traces all flows; any other value restricts the
-// trace to that single flow ID.
+// -proto accepts any registered transport (see `tfcsim run` usage for the
+// list). -flow 0 (the default) traces all flows; any other value
+// restricts the trace to that single flow ID.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"tfcsim"
 	"tfcsim/internal/netsim"
 )
 
 func main() {
-	proto := flag.String("proto", "tfc", "transport protocol: tfc, tcp or dctcp")
+	proto := flag.String("proto", "tfc",
+		"transport protocol: "+strings.Join(tfcsim.Protocols(), ", "))
 	flows := flag.Int("flows", 2, "number of concurrent flows")
 	us := flag.Int64("us", 500, "microseconds of virtual time to trace")
 	max := flag.Int("max", 200, "maximum trace lines")
 	only := flag.Int64("flow", 0, "trace only this flow ID (0 = all)")
 	flag.Parse()
-	switch *proto {
-	case "tfc", "tcp", "dctcp":
-	default:
-		fmt.Fprintf(os.Stderr, "tfctrace: unknown protocol %q (want tfc, tcp or dctcp)\n", *proto)
+	if !tfcsim.ProtocolRegistered(*proto) {
+		fmt.Fprintf(os.Stderr, "tfctrace: unknown protocol %q (registered: %s)\n",
+			*proto, strings.Join(tfcsim.Protocols(), ", "))
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -50,12 +52,9 @@ func main() {
 		Rate: tfcsim.Gbps, Delay: 5 * tfcsim.Microsecond, BufA: 256 << 10,
 	})
 	net.ComputeRoutes()
-	switch *proto {
-	case "tfc":
-		tfcsim.AttachTFC(s, sw, tfcsim.TFCConfig{})
-	case "dctcp":
-		tfcsim.AttachDCTCPMarking(sw, tfcsim.DCTCPThreshold(tfcsim.Gbps))
-	case "tcp":
+	if _, err := tfcsim.AttachTransport(s, *proto, []*tfcsim.Switch{sw}, tfcsim.Gbps); err != nil {
+		fmt.Fprintln(os.Stderr, "tfctrace:", err)
+		os.Exit(2)
 	}
 
 	lines := 0

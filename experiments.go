@@ -13,6 +13,7 @@ import (
 	"tfcsim/internal/runner"
 	"tfcsim/internal/sim"
 	"tfcsim/internal/telemetry"
+	"tfcsim/internal/transport"
 )
 
 // Scale selects experiment fidelity: Quick runs in seconds (CI and
@@ -52,6 +53,12 @@ type RunOptions struct {
 	// returned in Result.Telemetry. Nil (the default) disables
 	// instrumentation entirely.
 	Telemetry *telemetry.Options
+	// Protos, when non-empty, overrides the protocol list of every
+	// experiment that compares protocols (fig08-10, fig12, fig13, fig15,
+	// fig16, fattree, churn, robustness, credit-baseline). Each name must
+	// be a registered transport. Experiments pinned to one protocol
+	// (fig06, fig07, fig11, fig14, the ablations) ignore it.
+	Protos []Proto
 }
 
 func (o RunOptions) withDefaults() (RunOptions, error) {
@@ -66,6 +73,11 @@ func (o RunOptions) withDefaults() (RunOptions, error) {
 	}
 	if o.Parallelism <= 0 {
 		o.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	for _, p := range o.Protos {
+		if _, err := transport.Lookup(string(p)); err != nil {
+			return o, fmt.Errorf("tfcsim: %w", err)
+		}
 	}
 	return o, nil
 }
@@ -110,9 +122,19 @@ type runCtx struct {
 	csvDir string
 	pool   *runner.Pool
 	tel    *telemetry.Collector // nil when telemetry is off
+	protos []exp.Proto          // RunOptions.Protos override (validated)
 }
 
 func (rc *runCtx) paper() bool { return rc.scale == Paper }
+
+// protoList resolves an experiment's protocol matrix: the run-level
+// Protos override when set, otherwise the experiment's default.
+func (rc *runCtx) protoList(def []exp.Proto) []exp.Proto {
+	if len(rc.protos) > 0 {
+		return rc.protos
+	}
+	return def
+}
 
 // trial mints the telemetry sink for one keyed trial (nil when telemetry
 // is off). Keys must be unique per run and derived from the trial's grid
@@ -159,7 +181,8 @@ func (e Experiment) Run(ctx context.Context, opts RunOptions) (*Result, error) {
 			}
 		},
 	}
-	rc := &runCtx{scale: opts.Scale, seed: opts.Seed, csvDir: opts.CSVDir, pool: pool}
+	rc := &runCtx{scale: opts.Scale, seed: opts.Seed, csvDir: opts.CSVDir, pool: pool,
+		protos: opts.Protos}
 	if opts.Telemetry != nil {
 		rc.tel = telemetry.NewCollector(*opts.Telemetry)
 		res.Telemetry = rc.tel
@@ -237,7 +260,7 @@ var registry = []Experiment{
 				cfg.Tail = 3 * sim.Second
 				cfg.GoodputSample = 20 * sim.Millisecond
 			}
-			rs, err := exp.QueueFairnessAll(ctx, rc.pool, cfg)
+			rs, err := exp.QueueFairnessAll(ctx, rc.pool, cfg, rc.protos...)
 			if err != nil {
 				return nil, "", err
 			}
@@ -282,7 +305,7 @@ var registry = []Experiment{
 			cfg := exp.IncastConfig{}
 			cfg.TelemetryC = rc.tel
 			senders := []int{10, 40, 70, 100}
-			protos := []exp.Proto{exp.TFC, exp.DCTCP, exp.TCP}
+			protos := rc.protoList(exp.AllProtos)
 			if rc.paper() {
 				cfg.Rounds = 100
 				senders = []int{5, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100}
@@ -312,7 +335,7 @@ var registry = []Experiment{
 				cfg.QueryRate = 300
 				cfg.BgFlowRate = 500
 			}
-			rs, err := exp.BenchmarkAll(ctx, rc.pool, cfg, []exp.Proto{exp.TFC, exp.DCTCP, exp.TCP})
+			rs, err := exp.BenchmarkAll(ctx, rc.pool, cfg, rc.protoList(exp.AllProtos))
 			if err != nil {
 				return nil, "", err
 			}
@@ -367,7 +390,8 @@ var registry = []Experiment{
 				}
 				cfg.TelemetryC = rc.tel
 				cfg.TelemetryKey = fmt.Sprintf("b%dK", blk>>10)
-				pts, err := exp.IncastSweep(ctx, rc.subPool(bi), cfg, senders, []exp.Proto{exp.TFC, exp.TCP})
+				pts, err := exp.IncastSweep(ctx, rc.subPool(bi), cfg, senders,
+					rc.protoList([]exp.Proto{exp.TFC, exp.TCP}))
 				if err != nil {
 					return nil, "", err
 				}
@@ -385,13 +409,13 @@ var registry = []Experiment{
 		run: func(ctx context.Context, rc *runCtx) (any, string, error) {
 			cfg := exp.BenchmarkConfig{BufBytes: 512 << 10}
 			cfg.TelemetryC = rc.tel
-			protos := []exp.Proto{exp.TFC, exp.TCP}
+			protos := rc.protoList([]exp.Proto{exp.TFC, exp.TCP})
 			if rc.paper() {
 				cfg.Racks, cfg.PerRack = 18, 20
 				cfg.Duration = 500 * sim.Millisecond
 				cfg.QueryRate = 40
 				cfg.BgFlowRate = 2000
-				protos = []exp.Proto{exp.TFC, exp.DCTCP, exp.TCP}
+				protos = rc.protoList(exp.AllProtos)
 			} else {
 				cfg.Racks, cfg.PerRack = 6, 6
 				cfg.Duration = 150 * sim.Millisecond
@@ -417,7 +441,8 @@ var registry = []Experiment{
 			} else {
 				cfg.Duration = 150 * sim.Millisecond
 			}
-			rs, err := exp.PermutationAll(ctx, rc.pool, cfg, []exp.Proto{exp.TFC, exp.TCP})
+			rs, err := exp.PermutationAll(ctx, rc.pool, cfg,
+				rc.protoList([]exp.Proto{exp.TFC, exp.TCP}))
 			if err != nil {
 				return nil, "", err
 			}
@@ -433,7 +458,7 @@ var registry = []Experiment{
 			if rc.paper() {
 				cfg.Duration = 2 * sim.Second
 			}
-			rs, err := exp.ChurnAll(ctx, rc.pool, cfg, []exp.Proto{exp.TFC, exp.DCTCP, exp.TCP})
+			rs, err := exp.ChurnAll(ctx, rc.pool, cfg, rc.protoList(exp.AllProtos))
 			if err != nil {
 				return nil, "", err
 			}
@@ -450,7 +475,7 @@ var registry = []Experiment{
 				cfg.Tail = 2 * sim.Second
 			}
 			rs, err := exp.RobustnessSweep(ctx, rc.pool, cfg, exp.DefaultScenarios,
-				[]exp.Proto{exp.TFC, exp.DCTCP, exp.TCP})
+				rc.protoList(exp.AllProtos))
 			if err != nil {
 				return nil, "", err
 			}
@@ -470,7 +495,8 @@ var registry = []Experiment{
 			} else {
 				cfg.Rounds = 4
 			}
-			pts, err := exp.IncastSweep(ctx, rc.pool, cfg, senders, []exp.Proto{exp.TFC, exp.CREDIT})
+			pts, err := exp.IncastSweep(ctx, rc.pool, cfg, senders,
+				rc.protoList([]exp.Proto{exp.TFC, exp.CREDIT}))
 			if err != nil {
 				return nil, "", err
 			}

@@ -1,0 +1,73 @@
+package bfc
+
+import (
+	"testing"
+
+	"tfcsim/internal/sim"
+)
+
+// FuzzFlowGate drives the pause/resume state machine with an arbitrary
+// interleaving of arrivals, drains, pressure flips and clock advances,
+// checking its documented invariants:
+//
+//   - occupancy never goes negative;
+//   - XOF fires only at occupancy ≥ the effective threshold (Pause, or
+//     Resume under pressure);
+//   - XON fires only while paused, at occupancy ≤ Resume;
+//   - two XOFs are never closer than RefreshGap.
+func FuzzFlowGate(f *testing.F) {
+	f.Add([]byte{0x10, 0x90, 0x10, 0x81, 0x41, 0x22})
+	f.Add([]byte{0xff, 0xff, 0x00, 0x7f, 0x80, 0x01, 0x40})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		g := &FlowGate{Pause: 8 << 10, Resume: 4 << 10, RefreshGap: 50 * sim.Microsecond}
+		var now sim.Time
+		var lastXOF sim.Time
+		sawXOF := false
+		pressure := false
+		for _, op := range ops {
+			// Low 6 bits size the operation; the top 2 pick it.
+			n := int64(op&0x3f) * 256
+			switch op >> 6 {
+			case 0: // advance the clock
+				now += sim.Time(n) * sim.Microsecond / 16
+			case 1: // flip port pressure
+				pressure = !pressure
+			case 2: // arrival
+				occBefore := g.Occ()
+				thresh := g.Pause
+				if pressure && g.Resume < thresh {
+					thresh = g.Resume
+				}
+				if g.Add(n, now, pressure) {
+					if occBefore+n < thresh {
+						t.Fatalf("XOF at occ %d below effective threshold %d", occBefore+n, thresh)
+					}
+					if sawXOF && now-lastXOF < g.RefreshGap {
+						t.Fatalf("XOFs %v apart, gap %v", now-lastXOF, g.RefreshGap)
+					}
+					if !g.Paused() {
+						t.Fatal("XOF emitted but gate not paused")
+					}
+					sawXOF = true
+					lastXOF = now
+				}
+			case 3: // drain
+				pausedBefore := g.Paused()
+				if g.Drain(n) {
+					if !pausedBefore {
+						t.Fatal("XON while not paused")
+					}
+					if g.Occ() > g.Resume {
+						t.Fatalf("XON at occ %d above Resume %d", g.Occ(), g.Resume)
+					}
+					if g.Paused() {
+						t.Fatal("XON emitted but gate still paused")
+					}
+				}
+			}
+			if g.Occ() < 0 {
+				t.Fatalf("occupancy went negative: %d", g.Occ())
+			}
+		}
+	})
+}

@@ -1,0 +1,37 @@
+package bfc
+
+import (
+	"tfcsim/internal/tcp"
+	"tfcsim/internal/transport"
+)
+
+// init registers BFC with the transport registry: fixed-window senders
+// plus per-flow pause/resume hooks on every switch port.
+func init() {
+	transport.Register("bfc", transport.Factory{
+		Desc:    "BFC-style per-hop backpressure: per-flow XOF/XON pause thresholds at switches",
+		Compare: true,
+		Dial: func(c transport.DialConfig) transport.Conn {
+			probe, _ := c.Probe.(tcp.Probe)
+			s, r := Dial(Config{
+				Sim: c.Sim, Local: c.Local, Peer: c.Peer, Flow: c.Flow,
+				MSS: c.MSS, MinRTO: c.MinRTO,
+				OnDrain: c.OnDrain, OnComplete: c.OnComplete,
+				Probe: probe,
+			})
+			return transport.Conn{Sender: s, Received: r.Received, SRTT: s.SRTT}
+		},
+		Attach: func(a transport.AttachConfig) any {
+			knobs, _ := a.Knobs.(*SwitchKnobs)
+			probe, _ := a.Probe.(PauseProbe)
+			var hooks []*Hook
+			for _, sw := range a.Switches {
+				for _, h := range AttachSwitch(a.Sim, sw, knobs) {
+					h.SetProbe(probe)
+					hooks = append(hooks, h)
+				}
+			}
+			return hooks
+		},
+	})
+}

@@ -1,0 +1,30 @@
+package credit
+
+import "tfcsim/internal/transport"
+
+// init registers the ExpressPass-style receiver-driven credit transport:
+// credit-gated senders plus per-port credit shapers at switches. It is
+// not part of the default comparison matrix (the credit-baseline
+// experiment opts in explicitly).
+func init() {
+	transport.Register("credit", transport.Factory{
+		Desc: "ExpressPass-style receiver-driven credits with switch credit shaping",
+		Dial: func(c transport.DialConfig) transport.Conn {
+			probe, _ := c.Probe.(Probe)
+			s, r := Dial(Config{
+				Sim: c.Sim, Local: c.Local, Peer: c.Peer, Flow: c.Flow,
+				MSS: c.MSS, MinRTO: c.MinRTO,
+				OnDrain: c.OnDrain, OnComplete: c.OnComplete,
+				Probe: probe,
+			})
+			return transport.Conn{Sender: s, Received: r.Received, SRTT: s.SRTT}
+		},
+		Attach: func(a transport.AttachConfig) any {
+			var shapers []*Shaper
+			for _, sw := range a.Switches {
+				shapers = append(shapers, AttachShaper(a.Sim, sw, 0))
+			}
+			return shapers
+		},
+	})
+}

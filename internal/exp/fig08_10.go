@@ -180,16 +180,20 @@ func jain(xs []float64) float64 {
 	return sum * sum / (float64(len(xs)) * sq)
 }
 
-// QueueFairnessAll runs the scenario for all three protocols as
-// independent pool trials; results come back in AllProtos order. A nil
-// pool runs serially with base seed cfg.Seed.
-func QueueFairnessAll(ctx context.Context, p *runner.Pool, cfg QueueFairnessConfig) ([]*QueueFairnessResult, error) {
+// QueueFairnessAll runs the scenario for every compared protocol (or the
+// explicit protos override) as independent pool trials; results come back
+// in protocol-list order. A nil pool runs serially with base seed
+// cfg.Seed.
+func QueueFairnessAll(ctx context.Context, p *runner.Pool, cfg QueueFairnessConfig, protos ...Proto) ([]*QueueFairnessResult, error) {
 	if p == nil {
 		p = runner.Serial(cfg.Seed)
 	}
-	rs, _, err := runner.Map(ctx, p, len(AllProtos), func(i int, seed int64) (*QueueFairnessResult, error) {
+	if len(protos) == 0 {
+		protos = AllProtos
+	}
+	rs, _, err := runner.Map(ctx, p, len(protos), func(i int, seed int64) (*QueueFairnessResult, error) {
 		c := cfg
-		c.Proto = AllProtos[i]
+		c.Proto = protos[i]
 		c.Seed = seed
 		c.mintTelemetry(string(c.Proto))
 		return QueueFairness(c), nil

@@ -6,28 +6,43 @@
 package exp
 
 import (
+	"fmt"
+
 	"tfcsim/internal/core"
-	"tfcsim/internal/credit"
-	"tfcsim/internal/dctcp"
 	"tfcsim/internal/netsim"
 	"tfcsim/internal/sim"
 	"tfcsim/internal/telemetry"
+	"tfcsim/internal/transport"
 	"tfcsim/internal/workload"
 )
 
-// Proto re-exports the workload protocol selector.
+// Proto re-exports the workload protocol selector (a transport registry
+// key).
 type Proto = workload.Proto
 
 // Protocol constants.
 const (
-	TFC    = workload.TFC
-	TCP    = workload.TCP
-	DCTCP  = workload.DCTCP
-	CREDIT = workload.CREDIT
+	TFC     = workload.TFC
+	TCP     = workload.TCP
+	DCTCP   = workload.DCTCP
+	CREDIT  = workload.CREDIT
+	BFC     = workload.BFC
+	TINYTCP = workload.TINYTCP
 )
 
-// AllProtos lists the protocols compared throughout the evaluation.
-var AllProtos = []Proto{TFC, DCTCP, TCP}
+// AllProtos lists the protocols compared throughout the evaluation: every
+// registered transport flagged for comparison, in sorted name order. An
+// out-of-tree transport registered with Compare set joins the full
+// experiment matrix without any edits here.
+var AllProtos = compareProtos()
+
+func compareProtos() []Proto {
+	var ps []Proto
+	for _, n := range transport.CompareNames() {
+		ps = append(ps, Proto(n))
+	}
+	return ps
+}
 
 // Env is a built topology plus its protocol attachments.
 type Env struct {
@@ -35,6 +50,12 @@ type Env struct {
 	Net      *netsim.Network
 	Hosts    []*netsim.Host
 	Switches []*netsim.Switch
+	// Attach is the transport's switch-side attachment state, as returned
+	// by its registry Factory.Attach (nil for host-only transports).
+	Attach any
+	// TFCState is Attach narrowed to TFC's per-switch state; empty for
+	// other transports (kept as a typed convenience for the ablations and
+	// claims that inspect token-bucket internals).
 	TFCState map[*netsim.Switch]*core.SwitchState
 	Dialer   *workload.Dialer
 }
@@ -49,6 +70,11 @@ type TopoConfig struct {
 	HostJitter sim.Time
 	// Switch config for TFC (ablations, rho0, callbacks).
 	TFC core.SwitchConfig
+	// Knobs, when non-nil, is the switch-side knob payload handed to the
+	// transport's registry Attach verbatim (e.g. *bfc.SwitchKnobs). When
+	// nil, TFC falls back to the embedded TFC field; other transports get
+	// their defaults.
+	Knobs any
 	// MinRTO for senders (default 200ms).
 	MinRTO sim.Time
 	// Telemetry, when non-nil, is this trial's telemetry sink. The builder
@@ -87,6 +113,19 @@ func (c *TopoConfig) fill() {
 	}
 }
 
+// transportKnobs resolves the switch-side knob payload for the selected
+// transport: an explicit Knobs value wins; TFC defaults to the embedded
+// SwitchConfig so the ablation call sites keep working unchanged.
+func (c *TopoConfig) transportKnobs() any {
+	if c.Knobs != nil {
+		return c.Knobs
+	}
+	if c.Proto == TFC {
+		return &c.TFC
+	}
+	return nil
+}
+
 func newEnv(cfg *TopoConfig) *Env {
 	cfg.fill()
 	s := sim.New(cfg.Seed)
@@ -97,8 +136,7 @@ func newEnv(cfg *TopoConfig) *Env {
 		TFCState: make(map[*netsim.Switch]*core.SwitchState),
 		Dialer: &workload.Dialer{
 			Sim: s, Proto: cfg.Proto, MinRTO: cfg.MinRTO,
-			TCPProbe:    cfg.Telemetry.TCPProbe(),
-			CreditProbe: cfg.Telemetry.CreditProbe(),
+			Probe: cfg.Telemetry.DialProbe,
 		},
 	}
 }
@@ -116,30 +154,29 @@ func (e *Env) newSwitch(name string) *netsim.Switch {
 	return sw
 }
 
-// finish computes routes, attaches the protocol machinery to switches,
-// and instruments everything with the trial's telemetry sink (if any).
+// finish computes routes, attaches the selected transport's switch-side
+// machinery through the registry, and instruments everything with the
+// trial's telemetry sink (if any). No per-protocol wiring lives here:
+// registering a transport is all it takes to run it on any topology.
 func (e *Env) finish(cfg *TopoConfig, markRate netsim.Rate) {
 	e.Net.ComputeRoutes()
 	telemetry.InstrumentNetwork(cfg.Telemetry, e.Net)
-	switch cfg.Proto {
-	case TFC:
-		telemetry.InstrumentTFC(cfg.Telemetry, &cfg.TFC)
-		for _, sw := range e.Switches {
-			e.TFCState[sw] = core.Attach(e.Sim, sw, cfg.TFC)
-			telemetry.RegisterTFCGauges(cfg.Telemetry, e.TFCState[sw], sw)
-		}
-	case DCTCP:
-		onMark := cfg.Telemetry.MarkProbe()
-		for _, sw := range e.Switches {
-			for _, h := range dctcp.AttachMarking(sw, dctcp.KFor(markRate)) {
-				h.OnMark = onMark
-			}
-		}
-	case CREDIT:
-		for _, sw := range e.Switches {
-			credit.AttachShaper(e.Sim, sw, 0)
-		}
+	f, err := transport.Lookup(string(cfg.Proto))
+	if err != nil {
+		panic(fmt.Sprintf("exp: %v", err))
 	}
+	if f.Attach == nil {
+		return
+	}
+	e.Attach = f.Attach(transport.AttachConfig{
+		Sim: e.Sim, Switches: e.Switches, MarkRate: markRate,
+		Knobs: cfg.transportKnobs(),
+		Probe: cfg.Telemetry.SwitchProbe(string(cfg.Proto)),
+	})
+	if states, ok := e.Attach.(map[*netsim.Switch]*core.SwitchState); ok {
+		e.TFCState = states
+	}
+	telemetry.RegisterTransportGauges(cfg.Telemetry, e.Attach, e.Switches)
 }
 
 // Testbed paper parameters (§6.1.1): 256 KB per port, 1 Gbps.

@@ -428,7 +428,7 @@ func TestFlagNamesComplete(t *testing.T) {
 	}{
 		{FlagSYN, "SYN"}, {FlagACK, "ACK"}, {FlagFIN, "FIN"}, {FlagRM, "RM"},
 		{FlagRMA, "RMA"}, {FlagECT, "ECT"}, {FlagCE, "CE"}, {FlagECE, "ECE"},
-		{FlagCRD, "CRD"},
+		{FlagCRD, "CRD"}, {FlagXOF, "XOF"}, {FlagXON, "XON"},
 	}
 	if len(flagNames) != len(all) {
 		t.Fatalf("flagNames has %d entries, want %d", len(flagNames), len(all))
@@ -450,7 +450,7 @@ func TestFlagNamesComplete(t *testing.T) {
 	}
 	// Every single-bit value up to the highest defined flag must render as
 	// something other than "0" (i.e. no constant is missing from the table).
-	for b := Flag(1); b <= FlagCRD; b <<= 1 {
+	for b := Flag(1); b <= FlagXON; b <<= 1 {
 		if b.String() == "0" {
 			t.Errorf("flag bit %#x missing from flagNames", uint16(b))
 		}

@@ -36,6 +36,8 @@ const (
 	FlagCE  // Congestion Experienced (set by switches)
 	FlagECE // ECN Echo (set by receivers)
 	FlagCRD // Credit (receiver-driven credit transports)
+	FlagXOF // Pause: per-flow backpressure from a switch (BFC-style)
+	FlagXON // Resume: per-flow backpressure release
 )
 
 // flagNames maps every defined Flag bit to its display name, in bit order.
@@ -47,7 +49,7 @@ var flagNames = []struct {
 }{
 	{FlagSYN, "SYN"}, {FlagACK, "ACK"}, {FlagFIN, "FIN"}, {FlagRM, "RM"},
 	{FlagRMA, "RMA"}, {FlagECT, "ECT"}, {FlagCE, "CE"}, {FlagECE, "ECE"},
-	{FlagCRD, "CRD"},
+	{FlagCRD, "CRD"}, {FlagXOF, "XOF"}, {FlagXON, "XON"},
 }
 
 // String lists the set flags, e.g. "SYN|RM".

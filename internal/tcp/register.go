@@ -1,0 +1,30 @@
+package tcp
+
+import "tfcsim/internal/transport"
+
+// init registers plain TCP NewReno with the transport registry. The
+// protocol is host-only: no switch-side attachment.
+func init() {
+	transport.Register("tcp", transport.Factory{
+		Desc:    "TCP NewReno, testbed-era tuning (IW2, 200ms min RTO, per-packet ACKs)",
+		Compare: true,
+		Dial: func(c transport.DialConfig) transport.Conn {
+			s, r := Dial(Config{
+				Sim: c.Sim, Local: c.Local, Peer: c.Peer, Flow: c.Flow,
+				MSS: c.MSS, MinRTO: c.MinRTO,
+				OnDrain: c.OnDrain, OnComplete: c.OnComplete,
+				Probe: probeOf(c.Probe),
+			})
+			return transport.Conn{Sender: s, Received: r.Received, SRTT: s.SRTT}
+		},
+	})
+}
+
+// probeOf extracts a tcp.Probe from an opaque registry probe, tolerating
+// nil and foreign types (the registry contract).
+func probeOf(v any) Probe {
+	if p, ok := v.(Probe); ok {
+		return p
+	}
+	return nil
+}

@@ -43,6 +43,16 @@ type Config struct {
 	// marked-fraction estimation, and proportional cwnd reduction.
 	DCTCP *DCTCPParams
 
+	// Pace spreads data transmission at cwnd/SRTT instead of sending
+	// ACK-clocked back-to-back bursts. The tiny-buffer TCP baseline
+	// (package tinytcp) relies on it: paced traffic is what makes
+	// ~10-packet switch buffers sufficient.
+	Pace bool
+	// CwndCap, when positive, bounds the congestion window (bytes). Used
+	// by the tiny-buffer variant to keep standing queues off shallow
+	// buffers; 0 leaves the window unbounded.
+	CwndCap int64
+
 	// OnDrain fires every time all currently queued bytes become
 	// acknowledged (used by request/response workloads on persistent
 	// connections).
@@ -126,6 +136,11 @@ type Sender struct {
 
 	rto        *transport.RTOTimer
 	rtoBackoff uint
+
+	// Pacing gate (Config.Pace): the next time a data segment may leave,
+	// and the timer that resumes trySend when the gate reopens.
+	paceFree  sim.Time
+	paceTimer sim.Timer
 
 	dctcp *dctcpState
 }
@@ -246,6 +261,9 @@ func (s *Sender) trySend() {
 		if s.flight() > 0 && s.flight()+seg > s.cwnd {
 			break
 		}
+		if s.cfg.Pace && !s.paceReady(seg) {
+			break
+		}
 		if s.st.FirstSend == 0 && s.st.BytesAcked == 0 {
 			s.st.FirstSend = s.cfg.Sim.Now()
 		}
@@ -254,6 +272,31 @@ func (s *Sender) trySend() {
 	}
 	if s.flight() > 0 && !s.rto.Armed() {
 		s.armRTO()
+	}
+}
+
+// paceReady checks — and on success advances — the pacing gate for one
+// segment: data leaves one MSS per SRTT*seg/cwnd instead of in ACK
+// bursts. While the gate is closed a timer re-enters trySend when it
+// reopens, so pacing never strands queued data.
+func (s *Sender) paceReady(seg int64) bool {
+	now := s.cfg.Sim.Now()
+	if s.paceFree > now {
+		if !s.paceTimer.Active() {
+			s.paceTimer = s.cfg.Sim.At(s.paceFree, s.trySend)
+		}
+		return false
+	}
+	if srtt := s.est.SRTT(); srtt > 0 && s.cwnd > 0 {
+		s.paceFree = now + sim.Time(int64(srtt)*seg/s.cwnd)
+	}
+	return true
+}
+
+// clampCwnd applies the Config.CwndCap bound after any window growth.
+func (s *Sender) clampCwnd() {
+	if s.cfg.CwndCap > 0 && s.cwnd > s.cfg.CwndCap {
+		s.cwnd = s.cfg.CwndCap
 	}
 }
 
@@ -370,6 +413,7 @@ func (s *Sender) Deliver(pkt *netsim.Packet) {
 				s.inFR = false
 				s.dupacks = 0
 				s.cwnd = s.ssthresh
+				s.clampCwnd()
 				if s.cfg.Probe != nil {
 					s.cfg.Probe.Recovery(s.cfg.Flow, false)
 				}
@@ -402,6 +446,7 @@ func (s *Sender) Deliver(pkt *netsim.Packet) {
 		s.dupacks++
 		if s.inFR {
 			s.cwnd += int64(s.cfg.MSS) // window inflation
+			s.clampCwnd()
 			s.probeCwnd()
 			s.trySend()
 		} else if s.dupacks == 3 {
@@ -410,6 +455,7 @@ func (s *Sender) Deliver(pkt *netsim.Packet) {
 			s.recover = s.sndNxt
 			s.inFR = true
 			s.cwnd = s.ssthresh + int64(3*s.cfg.MSS)
+			s.clampCwnd()
 			if s.cfg.Probe != nil {
 				s.cfg.Probe.Recovery(s.cfg.Flow, true)
 			}
@@ -455,6 +501,7 @@ func (s *Sender) growCwnd(newly int64, ece bool) {
 		}
 		s.cwnd += add
 	}
+	s.clampCwnd()
 }
 
 func (s *Sender) finish() {

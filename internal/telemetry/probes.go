@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"tfcsim/internal/bfc"
 	"tfcsim/internal/core"
 	"tfcsim/internal/credit"
 	"tfcsim/internal/faults"
@@ -356,6 +357,81 @@ func (t *Trial) MarkProbe() func(*netsim.Port, netsim.FlowID) {
 	}
 	c := t.Counter("dctcp.marked")
 	return func(port *netsim.Port, flow netsim.FlowID) { c.Inc() }
+}
+
+// PauseProbe returns a BFC pause/resume observer counting XOF and XON
+// signals (nil for a nil trial), for bfc.Hook.SetProbe.
+func (t *Trial) PauseProbe() bfc.PauseProbe {
+	if t == nil {
+		return nil
+	}
+	pauses := t.Counter("bfc.pauses")
+	resumes := t.Counter("bfc.resumes")
+	return func(port *netsim.Port, flow netsim.FlowID, paused bool) {
+		if paused {
+			pauses.Inc()
+		} else {
+			resumes.Inc()
+		}
+	}
+}
+
+// --- transport registry dispatch ---
+//
+// The registry moves probes across the transport boundary as opaque any
+// values (telemetry imports the protocol packages, so they cannot import
+// telemetry back). These two dispatchers map a registered transport name
+// to the trial's matching probe; unknown names get nil, which every
+// transport tolerates.
+
+// DialProbe returns the sender-side telemetry probe for a named
+// transport, shaped for workload.Dialer.Probe. Nil-trial safe.
+func (t *Trial) DialProbe(proto string) any {
+	if t == nil {
+		return nil
+	}
+	switch proto {
+	case "tcp", "dctcp", "tinytcp", "bfc":
+		return t.TCPProbe()
+	case "credit":
+		return t.CreditProbe()
+	}
+	return nil
+}
+
+// SwitchProbe returns the switch-side telemetry probe for a named
+// transport, shaped for transport.AttachConfig.Probe. Nil-trial safe.
+func (t *Trial) SwitchProbe(proto string) any {
+	if t == nil {
+		return nil
+	}
+	switch proto {
+	case "tfc":
+		t.tfc.ensure()
+		return core.Probe(&t.tfc)
+	case "dctcp":
+		return t.MarkProbe()
+	case "bfc":
+		return t.PauseProbe()
+	}
+	return nil
+}
+
+// RegisterTransportGauges registers protocol-specific per-switch gauges
+// from a registry Attach result (currently TFC's token / effective-flow /
+// window gauges; other transports keep no per-switch state worth
+// sampling). No-op on a nil trial or a foreign state type.
+func RegisterTransportGauges(t *Trial, state any, switches []*netsim.Switch) {
+	if t == nil {
+		return
+	}
+	if states, ok := state.(map[*netsim.Switch]*core.SwitchState); ok {
+		for _, sw := range switches {
+			if ss := states[sw]; ss != nil {
+				RegisterTFCGauges(t, ss, sw)
+			}
+		}
+	}
 }
 
 // --- faults: injection windows as spans ---

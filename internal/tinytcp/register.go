@@ -1,0 +1,25 @@
+package tinytcp
+
+import (
+	"tfcsim/internal/tcp"
+	"tfcsim/internal/transport"
+)
+
+// init registers tiny-buffer TCP: host-only (no switch attachment), like
+// plain TCP.
+func init() {
+	transport.Register("tinytcp", transport.Factory{
+		Desc:    "tiny-buffer TCP: paced NewReno with a capped window, sized for ~10-packet buffers",
+		Compare: true,
+		Dial: func(c transport.DialConfig) transport.Conn {
+			probe, _ := c.Probe.(tcp.Probe)
+			s, r := Dial(tcp.Config{
+				Sim: c.Sim, Local: c.Local, Peer: c.Peer, Flow: c.Flow,
+				MSS: c.MSS, MinRTO: c.MinRTO,
+				OnDrain: c.OnDrain, OnComplete: c.OnComplete,
+				Probe: probe,
+			})
+			return transport.Conn{Sender: s, Received: r.Received, SRTT: s.SRTT}
+		},
+	})
+}

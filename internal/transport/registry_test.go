@@ -1,0 +1,105 @@
+package transport
+
+import (
+	"sort"
+	"strings"
+	"testing"
+)
+
+func dummyDial(DialConfig) Conn { return Conn{} }
+
+// TestRegisterValidation proves Register rejects the three programming
+// errors it documents: empty name, nil Dial, duplicate name.
+func TestRegisterValidation(t *testing.T) {
+	mustPanic := func(name string, f Factory, want string) {
+		t.Helper()
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatalf("Register(%q) did not panic", name)
+			}
+			if msg, ok := r.(string); !ok || !strings.Contains(msg, want) {
+				t.Fatalf("Register(%q) panic = %v, want substring %q", name, r, want)
+			}
+		}()
+		Register(name, f)
+	}
+
+	mustPanic("", Factory{Dial: dummyDial}, "empty name")
+	mustPanic("regtest-nildial", Factory{}, "nil Dial")
+
+	Register("regtest-dup", Factory{Dial: dummyDial})
+	defer delete(factories, "regtest-dup")
+	mustPanic("regtest-dup", Factory{Dial: dummyDial}, "twice")
+}
+
+// TestLookupUnknown proves the unknown-name error lists every registered
+// protocol so a CLI typo is self-diagnosing.
+func TestLookupUnknown(t *testing.T) {
+	Register("regtest-listed", Factory{Dial: dummyDial})
+	defer delete(factories, "regtest-listed")
+
+	_, err := Lookup("no-such-proto")
+	if err == nil {
+		t.Fatal("Lookup of unknown name returned nil error")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, `"no-such-proto"`) {
+		t.Errorf("error %q does not quote the unknown name", msg)
+	}
+	for _, n := range Names() {
+		if !strings.Contains(msg, n) {
+			t.Errorf("error %q does not list registered protocol %q", msg, n)
+		}
+	}
+}
+
+func TestLookupRegistered(t *testing.T) {
+	Register("regtest-found", Factory{Desc: "x", Dial: dummyDial})
+	defer delete(factories, "regtest-found")
+
+	f, err := Lookup("regtest-found")
+	if err != nil {
+		t.Fatalf("Lookup: %v", err)
+	}
+	if f.Desc != "x" || f.Dial == nil {
+		t.Fatalf("Lookup returned wrong factory: %+v", f)
+	}
+	if !Registered("regtest-found") {
+		t.Error("Registered(regtest-found) = false")
+	}
+	if Registered("no-such-proto") {
+		t.Error("Registered(no-such-proto) = true")
+	}
+}
+
+// TestNamesSorted proves Names and CompareNames are sorted (the harness
+// derives deterministic experiment order from them) and that CompareNames
+// is the Compare-flagged subset of Names.
+func TestNamesSorted(t *testing.T) {
+	Register("regtest-zz", Factory{Dial: dummyDial, Compare: true})
+	Register("regtest-aa", Factory{Dial: dummyDial})
+	defer delete(factories, "regtest-zz")
+	defer delete(factories, "regtest-aa")
+
+	names := Names()
+	if !sort.StringsAreSorted(names) {
+		t.Errorf("Names() not sorted: %v", names)
+	}
+	cmp := CompareNames()
+	if !sort.StringsAreSorted(cmp) {
+		t.Errorf("CompareNames() not sorted: %v", cmp)
+	}
+	all := make(map[string]bool, len(names))
+	for _, n := range names {
+		all[n] = true
+	}
+	for _, n := range cmp {
+		if !all[n] {
+			t.Errorf("CompareNames() has %q not present in Names()", n)
+		}
+		if !factories[n].Compare {
+			t.Errorf("CompareNames() has %q with Compare=false", n)
+		}
+	}
+}

@@ -8,24 +8,31 @@ import (
 	"fmt"
 	"math/rand"
 
-	"tfcsim/internal/core"
-	"tfcsim/internal/credit"
-	"tfcsim/internal/dctcp"
 	"tfcsim/internal/netsim"
 	"tfcsim/internal/sim"
-	"tfcsim/internal/tcp"
 	"tfcsim/internal/transport"
+
+	// The built-in transports self-register with the transport registry;
+	// importing the workload layer is what links them into a binary.
+	_ "tfcsim/internal/bfc"
+	_ "tfcsim/internal/core"
+	_ "tfcsim/internal/credit"
+	_ "tfcsim/internal/dctcp"
+	_ "tfcsim/internal/tcp"
+	_ "tfcsim/internal/tinytcp"
 )
 
-// Proto selects the transport protocol for a workload.
+// Proto names a registered transport (a transport registry key).
 type Proto string
 
-// Supported protocols.
+// Names of the built-in transports.
 const (
-	TFC    Proto = "tfc"
-	TCP    Proto = "tcp"
-	DCTCP  Proto = "dctcp"
-	CREDIT Proto = "credit" // ExpressPass-style receiver-driven credits
+	TFC     Proto = "tfc"
+	TCP     Proto = "tcp"
+	DCTCP   Proto = "dctcp"
+	CREDIT  Proto = "credit" // ExpressPass-style receiver-driven credits
+	BFC     Proto = "bfc"    // per-hop per-flow backpressure
+	TINYTCP Proto = "tinytcp"
 )
 
 // Conn couples a protocol-agnostic sender with its receiver-side byte
@@ -39,56 +46,42 @@ type Conn struct {
 }
 
 // Dialer creates connections of a chosen protocol with shared parameters.
+// The protocol is resolved through the transport registry, so a Dialer
+// works with any registered transport — in-tree or out-of-tree — without
+// modification.
 type Dialer struct {
 	Sim    *sim.Simulator
 	Proto  Proto
 	MSS    int
 	MinRTO sim.Time
 	IDs    transport.IDGen
-	// TCPProbe, if set, observes cwnd/RTO/recovery transitions of tcp and
-	// dctcp senders (telemetry).
-	TCPProbe tcp.Probe
-	// CreditProbe, if set, observes RTOs and credit-rate updates of credit
-	// senders (telemetry).
-	CreditProbe credit.Probe
+	// Probe, if set, supplies the sender-side telemetry probe for a given
+	// protocol name. The value is protocol-defined (tcp.Probe for the
+	// TCP-family transports, credit.Probe for credit, ...) and crosses the
+	// registry as an opaque any; transports ignore probes of foreign types.
+	Probe func(proto string) any
 }
 
 // Dial wires a (src -> dst) connection. onDrain fires whenever all queued
-// bytes are acknowledged; onComplete once after Close.
+// bytes are acknowledged; onComplete once after Close. Unknown protocol
+// names panic with the registered alternatives (misconfiguration is a
+// programming error at this layer; cmd front-ends validate names first).
 func (d *Dialer) Dial(src, dst *netsim.Host, onDrain, onComplete func()) *Conn {
-	flow := d.IDs.Next()
-	switch d.Proto {
-	case TFC:
-		s, r := core.Dial(core.Config{
-			Sim: d.Sim, Local: src, Peer: dst, Flow: flow,
-			MSS: d.MSS, MinRTO: d.MinRTO,
-			OnDrain: onDrain, OnComplete: onComplete,
-		})
-		return &Conn{Flow: flow, Sender: s, Received: r.Received, SRTT: s.SRTT}
-	case DCTCP:
-		s, r := dctcp.Dial(tcp.Config{
-			Sim: d.Sim, Local: src, Peer: dst, Flow: flow,
-			MSS: d.MSS, MinRTO: d.MinRTO,
-			OnDrain: onDrain, OnComplete: onComplete, Probe: d.TCPProbe,
-		})
-		return &Conn{Flow: flow, Sender: s, Received: r.Received, SRTT: s.SRTT}
-	case TCP:
-		s, r := tcp.Dial(tcp.Config{
-			Sim: d.Sim, Local: src, Peer: dst, Flow: flow,
-			MSS: d.MSS, MinRTO: d.MinRTO,
-			OnDrain: onDrain, OnComplete: onComplete, Probe: d.TCPProbe,
-		})
-		return &Conn{Flow: flow, Sender: s, Received: r.Received, SRTT: s.SRTT}
-	case CREDIT:
-		s, r := credit.Dial(credit.Config{
-			Sim: d.Sim, Local: src, Peer: dst, Flow: flow,
-			MSS: d.MSS, MinRTO: d.MinRTO,
-			OnDrain: onDrain, OnComplete: onComplete, Probe: d.CreditProbe,
-		})
-		return &Conn{Flow: flow, Sender: s, Received: r.Received, SRTT: s.SRTT}
-	default:
-		panic(fmt.Sprintf("workload: unknown protocol %q", d.Proto))
+	f, err := transport.Lookup(string(d.Proto))
+	if err != nil {
+		panic(fmt.Sprintf("workload: %v", err))
 	}
+	flow := d.IDs.Next()
+	var probe any
+	if d.Probe != nil {
+		probe = d.Probe(string(d.Proto))
+	}
+	c := f.Dial(transport.DialConfig{
+		Sim: d.Sim, Local: src, Peer: dst, Flow: flow,
+		MSS: d.MSS, MinRTO: d.MinRTO,
+		OnDrain: onDrain, OnComplete: onComplete, Probe: probe,
+	})
+	return &Conn{Flow: flow, Sender: c.Sender, Received: c.Received, SRTT: c.SRTT}
 }
 
 // IncastConfig describes a barrier-synchronized incast workload: a

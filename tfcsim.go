@@ -46,6 +46,7 @@ import (
 	"tfcsim/internal/netsim"
 	"tfcsim/internal/sim"
 	"tfcsim/internal/telemetry"
+	"tfcsim/internal/transport"
 	"tfcsim/internal/workload"
 )
 
@@ -76,12 +77,26 @@ type (
 	// FlowID identifies one transport connection.
 	FlowID = netsim.FlowID
 
-	// Proto selects a transport protocol for workloads.
+	// Proto selects a transport protocol for workloads. It is a transport
+	// registry key: any name passed to RegisterTransport is valid.
 	Proto = workload.Proto
 	// Dialer creates connections of a chosen protocol.
 	Dialer = workload.Dialer
 	// Conn couples a sender with its receiver-side byte counter.
 	Conn = workload.Conn
+
+	// TransportFactory bundles a transport's constructors and switch-side
+	// attachment for the registry (see RegisterTransport).
+	TransportFactory = transport.Factory
+	// TransportDialConfig parameterizes one registry-dialed connection.
+	TransportDialConfig = transport.DialConfig
+	// TransportAttachConfig parameterizes a transport's switch attachment.
+	TransportAttachConfig = transport.AttachConfig
+	// TransportConn is the sender/receiver pair a factory's Dial returns.
+	TransportConn = transport.Conn
+	// Sender is the protocol-agnostic sending interface all transports
+	// implement (Open/Send/Acked/Queued/Stats/Close).
+	Sender = transport.Sender
 
 	// TFCConfig parameterizes TFC's switch behaviour (rho0, alpha, ...).
 	TFCConfig = core.SwitchConfig
@@ -121,6 +136,11 @@ const (
 	// CREDIT is an ExpressPass-style receiver-driven credit transport,
 	// included as a second credit-based baseline (see internal/credit).
 	CREDIT = workload.CREDIT
+	// BFC is a per-hop per-flow backpressure baseline (see internal/bfc).
+	BFC = workload.BFC
+	// TINYTCP is paced, window-capped TCP sized for ~10-packet buffers
+	// (see internal/tinytcp).
+	TINYTCP = workload.TINYTCP
 )
 
 // MSS is the default maximum segment size (bytes).
@@ -145,3 +165,41 @@ func AttachDCTCPMarking(sw *Switch, k int) { dctcp.AttachMarking(sw, k) }
 // DCTCPThreshold returns the paper's marking threshold for a link rate
 // (32 KB at 1 Gbps, 65 frames at 10 Gbps).
 func DCTCPThreshold(rate Rate) int { return dctcp.KFor(rate) }
+
+// RegisterTransport adds a transport to the registry under name, making
+// it dialable through Dialer, selectable with `tfcsim run -proto=<name>`,
+// and — when its factory sets Compare — part of the full experiment
+// matrix. It panics on a duplicate or empty name, or a nil Dial.
+// Out-of-tree example:
+//
+//	tfcsim.RegisterTransport("myproto", tfcsim.TransportFactory{
+//	    Desc: "my experimental transport",
+//	    Dial: func(c tfcsim.TransportDialConfig) tfcsim.TransportConn { ... },
+//	})
+func RegisterTransport(name string, f TransportFactory) {
+	transport.Register(name, f)
+}
+
+// Protocols returns the names of all registered transports, sorted.
+func Protocols() []string { return transport.Names() }
+
+// ProtocolRegistered reports whether name is a registered transport.
+func ProtocolRegistered(name string) bool { return transport.Registered(name) }
+
+// AttachTransport installs the named transport's switch-side machinery on
+// the given switches (a no-op for host-only transports like TCP),
+// returning the transport-defined attachment state. markRate is the
+// bottleneck link rate protocols with rate-derived thresholds use (DCTCP's
+// ECN K). It errors on an unknown name, listing the registered ones.
+func AttachTransport(s *Simulator, name string, switches []*Switch, markRate Rate) (any, error) {
+	f, err := transport.Lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	if f.Attach == nil {
+		return nil, nil
+	}
+	return f.Attach(transport.AttachConfig{
+		Sim: s, Switches: switches, MarkRate: markRate,
+	}), nil
+}

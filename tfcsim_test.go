@@ -33,7 +33,10 @@ func TestFacadeQuickstart(t *testing.T) {
 }
 
 func TestFacadeAllProtocols(t *testing.T) {
-	for _, p := range []Proto{TFC, TCP, DCTCP} {
+	// Every registered transport — including out-of-tree ones — must
+	// complete a transfer through the one generic construction path:
+	// AttachTransport for the switch side, Dialer for the hosts.
+	for _, name := range Protocols() {
 		s := NewSimulator(2)
 		net := NewNetwork(s)
 		a, b := net.NewHost("a"), net.NewHost("b")
@@ -41,20 +44,17 @@ func TestFacadeAllProtocols(t *testing.T) {
 		net.Connect(a, sw, LinkConfig{Rate: Gbps, Delay: 5 * Microsecond})
 		net.Connect(sw, b, LinkConfig{Rate: Gbps, Delay: 5 * Microsecond, BufA: 256 << 10})
 		net.ComputeRoutes()
-		switch p {
-		case TFC:
-			AttachTFC(s, sw, TFCConfig{})
-		case DCTCP:
-			AttachDCTCPMarking(sw, DCTCPThreshold(Gbps))
+		if _, err := AttachTransport(s, name, []*Switch{sw}, Gbps); err != nil {
+			t.Fatalf("%s: %v", name, err)
 		}
-		d := &Dialer{Sim: s, Proto: p}
+		d := &Dialer{Sim: s, Proto: Proto(name)}
 		conn := d.Dial(a, b, nil, nil)
 		conn.Sender.Open()
 		conn.Sender.Send(100 * MSS)
 		conn.Sender.Close()
 		s.RunUntil(Second)
 		if conn.Received() != 100*MSS {
-			t.Fatalf("%s: received %d", p, conn.Received())
+			t.Fatalf("%s: received %d", name, conn.Received())
 		}
 	}
 }
@@ -340,5 +340,84 @@ func TestVerifyAllClaims(t *testing.T) {
 	report, ok := VerifyAll()
 	if !ok {
 		t.Fatalf("claims failed:\n%s", report)
+	}
+}
+
+func TestProtosOverrideUnknownName(t *testing.T) {
+	// A typo'd -proto must fail up front with the registry's sorted name
+	// list, not start running trials.
+	e, ok := Find("fig08-10")
+	if !ok {
+		t.Fatal("fig08-10 not in registry")
+	}
+	_, err := e.Run(context.Background(), RunOptions{Protos: []Proto{"newreno"}})
+	if err == nil {
+		t.Fatal("unknown protocol name should error")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, `"newreno"`) {
+		t.Errorf("error %q does not quote the unknown name", msg)
+	}
+	for _, name := range Protocols() {
+		if !strings.Contains(msg, name) {
+			t.Errorf("error %q does not list registered protocol %q", msg, name)
+		}
+	}
+}
+
+func TestNewProtocolParallelismEquivalence(t *testing.T) {
+	// The registry satellite of the byte-identity contract: the two new
+	// baselines, selected via the Protos override, must produce identical
+	// text and CSV output at -j1 and -j8 on both a CSV-exporting figure
+	// sweep and the fault-schedule robustness experiment. (fig06 is pinned
+	// to TFC; its byte identity is covered by TestCSVExportByteIdentical.)
+	for _, proto := range []Proto{BFC, TINYTCP} {
+		for _, name := range []string{"fig08-10", "robustness"} {
+			e, ok := Find(name)
+			if !ok {
+				t.Fatalf("%s not in registry", name)
+			}
+			dirA, dirB := t.TempDir(), t.TempDir()
+			run := func(dir string, par int) *Result {
+				t.Helper()
+				res, err := e.Run(context.Background(), RunOptions{
+					Scale: Quick, Seed: 7, Parallelism: par,
+					Protos: []Proto{proto}, CSVDir: dir,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res
+			}
+			r1 := run(dirA, 1)
+			r8 := run(dirB, 8)
+			if r1.Text != r8.Text {
+				t.Errorf("%s/%s output differs between -j1 and -j8:\n--- j=1 ---\n%s--- j=8 ---\n%s",
+					name, proto, r1.Text, r8.Text)
+			}
+			if r1.Events != r8.Events {
+				t.Errorf("%s/%s event totals differ: %d vs %d", name, proto, r1.Events, r8.Events)
+			}
+			if !strings.Contains(r1.Text, string(proto)) {
+				t.Errorf("%s output does not mention the selected protocol %q", name, proto)
+			}
+			entries, err := os.ReadDir(dirA)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, ent := range entries {
+				a, err := os.ReadFile(filepath.Join(dirA, ent.Name()))
+				if err != nil {
+					t.Fatal(err)
+				}
+				b, err := os.ReadFile(filepath.Join(dirB, ent.Name()))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(a, b) {
+					t.Errorf("%s/%s: %s differs between -j1 and -j8", name, proto, ent.Name())
+				}
+			}
+		}
 	}
 }
