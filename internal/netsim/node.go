@@ -48,6 +48,11 @@ type Interceptor interface {
 type Switch struct {
 	nodeBase
 	routes map[NodeID][]*Port
+	// One-entry route cache: consecutive packets to one destination (the
+	// common case on a loaded path) skip the map lookup. Invalidated by
+	// ComputeRoutes.
+	cachedDst   NodeID
+	cachedPorts []*Port
 	// Interceptor, if non-nil, may defer forwarding of selected packets.
 	Interceptor Interceptor
 	// Unroutable counts packets with no route (diagnostics).
@@ -70,11 +75,15 @@ func (sw *Switch) Receive(pkt *Packet, from *Port) {
 
 // routeFor picks the (flow-consistent) output port toward dst.
 func (sw *Switch) routeFor(flow FlowID, dst NodeID) *Port {
-	ports := sw.routes[dst]
-	switch len(ports) {
-	case 0:
-		return nil
-	case 1:
+	ports := sw.cachedPorts
+	if dst != sw.cachedDst || ports == nil {
+		ports = sw.routes[dst]
+		if len(ports) == 0 {
+			return nil
+		}
+		sw.cachedDst, sw.cachedPorts = dst, ports
+	}
+	if len(ports) == 1 {
 		return ports[0]
 	}
 	return ports[flowHash(flow)%uint64(len(ports))]
@@ -118,6 +127,11 @@ type Endpoint interface {
 type Host struct {
 	nodeBase
 	endpoints map[FlowID]Endpoint
+	// One-entry demux cache: back-to-back deliveries to one flow (a burst
+	// or a single busy connection) skip the map lookup. Invalidated by
+	// Register/Unregister.
+	cachedFlow FlowID
+	cachedEp   Endpoint
 	// Listener creates a receiving endpoint for an incoming SYN of an
 	// unknown flow, or returns nil to refuse it.
 	Listener func(pkt *Packet) Endpoint
@@ -187,14 +201,20 @@ func (h *Host) Send(pkt *Packet) {
 		nic.Enqueue(pkt)
 		return
 	}
-	s.Schedule(at, h.net.newEvent(evHostSend, nic, pkt))
+	s.Schedule(at, h.net.newHostSend(nic, pkt))
 }
 
 // Register binds an endpoint to a flow ID.
-func (h *Host) Register(id FlowID, ep Endpoint) { h.endpoints[id] = ep }
+func (h *Host) Register(id FlowID, ep Endpoint) {
+	h.endpoints[id] = ep
+	h.cachedFlow, h.cachedEp = 0, nil
+}
 
 // Unregister removes a flow binding.
-func (h *Host) Unregister(id FlowID) { delete(h.endpoints, id) }
+func (h *Host) Unregister(id FlowID) {
+	delete(h.endpoints, id)
+	h.cachedFlow, h.cachedEp = 0, nil
+}
 
 // Endpoint returns the endpoint bound to id, if any.
 func (h *Host) Endpoint(id FlowID) Endpoint { return h.endpoints[id] }
@@ -234,19 +254,24 @@ func (h *Host) Receive(pkt *Packet, from *Port) {
 }
 
 func (h *Host) deliver(pkt *Packet) {
-	ep, ok := h.endpoints[pkt.Flow]
-	if !ok {
-		if pkt.Flags&FlagSYN != 0 && pkt.Flags&FlagACK == 0 && h.Listener != nil {
-			if ep = h.Listener(pkt); ep != nil {
-				h.endpoints[pkt.Flow] = ep
+	ep := h.cachedEp
+	if pkt.Flow != h.cachedFlow || ep == nil {
+		var ok bool
+		ep, ok = h.endpoints[pkt.Flow]
+		if !ok {
+			if pkt.Flags&FlagSYN != 0 && pkt.Flags&FlagACK == 0 && h.Listener != nil {
+				if ep = h.Listener(pkt); ep != nil {
+					h.endpoints[pkt.Flow] = ep
+				}
+			}
+			if ep == nil {
+				h.Stray++
+				h.net.trace(TraceStray, h.name, pkt)
+				h.net.ReleasePacket(pkt)
+				return
 			}
 		}
-		if ep == nil {
-			h.Stray++
-			h.net.trace(TraceStray, h.name, pkt)
-			h.net.ReleasePacket(pkt)
-			return
-		}
+		h.cachedFlow, h.cachedEp = pkt.Flow, ep
 	}
 	h.net.trace(TraceDeliver, h.name, pkt)
 	ep.Deliver(pkt)
@@ -330,8 +355,14 @@ type Network struct {
 	PoolPackets bool
 	pktFree     []*Packet
 
-	evFree []*portEvent // forwarding-path event pool (always on)
+	evFree []*portEvent // deferred host-send event pool (always on)
 }
+
+// pktSlab is the packet-pool growth quantum: a pool miss allocates one
+// slab and free-lists the remainder, so a growing live population (e.g. a
+// deepening queue) costs one allocation per 64 packets instead of one
+// each.
+const pktSlab = 64
 
 func (n *Network) trace(ev TraceEvent, where string, pkt *Packet) {
 	if n.Trace != nil {
@@ -350,7 +381,47 @@ func (n *Network) NewPacket() *Packet {
 		n.pktFree = n.pktFree[:k]
 		return p
 	}
+	if n.PoolPackets {
+		// Pool miss: grow by a slab. Packets contain no pointers, so the
+		// slab is GC-opaque, and handing out slab elements is safe — the
+		// pool never frees, it only recycles.
+		slab := make([]Packet, pktSlab)
+		for i := 1; i < pktSlab; i++ {
+			n.pktFree = append(n.pktFree, &slab[i])
+		}
+		return &slab[0]
+	}
 	return &Packet{}
+}
+
+// Warm pre-sizes the network for an allocation-free run: with pooling on,
+// the packet pool grows to at least packets spare packets, the deferred
+// host-send event pool to a matching depth, and every port's FIFO and
+// in-flight rings to ringCap slots. Benchmarks call it (together with
+// sim.Warm) so the measured steady state performs no allocation at all;
+// cold networks grow on demand instead.
+func (n *Network) Warm(packets, ringCap int) {
+	if n.PoolPackets {
+		for len(n.pktFree) < packets {
+			slab := make([]Packet, pktSlab)
+			for i := range slab {
+				n.pktFree = append(n.pktFree, &slab[i])
+			}
+		}
+	}
+	for len(n.evFree) < 64 {
+		n.evFree = append(n.evFree, &portEvent{})
+	}
+	for _, node := range n.nodes {
+		for _, p := range node.Ports() {
+			if len(p.q) < ringCap {
+				p.growQ2(ringCap)
+			}
+			if len(p.inFl) < ringCap {
+				p.growInFl(ringCap)
+			}
+		}
+	}
 }
 
 // ReleasePacket returns a packet to the pool. The forwarding path calls it
@@ -365,23 +436,17 @@ func (n *Network) ReleasePacket(p *Packet) {
 	n.pktFree = append(n.pktFree, p)
 }
 
-// portEvent is the pooled sim.EventTarget carrying the forwarding path's
-// per-packet events (serialization done, delivery, deferred host send).
-// The pool makes the two events per packet per hop allocation-free.
+// portEvent is the pooled sim.EventTarget for the one forwarding-path
+// event that still needs a per-packet carrier: a host send deferred by
+// processing jitter (any number can be pending per NIC). Serialization
+// completion and delivery use port-resident events instead — see txEvent
+// and rxEvent in port.go.
 type portEvent struct {
 	port *Port
 	pkt  *Packet
-	kind uint8
 }
 
-// portEvent kinds.
-const (
-	evTxDone   uint8 = iota // frame fully serialized at port
-	evDeliver               // frame arrived at port's peer
-	evHostSend              // host processing delay elapsed; enqueue at NIC
-)
-
-func (n *Network) newEvent(kind uint8, port *Port, pkt *Packet) *portEvent {
+func (n *Network) newHostSend(port *Port, pkt *Packet) *portEvent {
 	var e *portEvent
 	if k := len(n.evFree) - 1; k >= 0 {
 		e = n.evFree[k]
@@ -390,24 +455,17 @@ func (n *Network) newEvent(kind uint8, port *Port, pkt *Packet) *portEvent {
 	} else {
 		e = &portEvent{}
 	}
-	e.kind, e.port, e.pkt = kind, port, pkt
+	e.port, e.pkt = port, pkt
 	return e
 }
 
 // RunEvent implements sim.EventTarget. The event frees itself before
 // acting so the callback chain can immediately reuse it.
 func (e *portEvent) RunEvent() {
-	p, pkt, kind := e.port, e.pkt, e.kind
+	p, pkt := e.port, e.pkt
 	e.port, e.pkt = nil, nil
 	p.net.evFree = append(p.net.evFree, e)
-	switch kind {
-	case evTxDone:
-		p.finishTx(pkt)
-	case evDeliver:
-		p.Peer.Receive(pkt, p)
-	case evHostSend:
-		p.Enqueue(pkt)
-	}
+	p.Enqueue(pkt)
 }
 
 // NewNetwork creates an empty network on the given simulator.
@@ -463,6 +521,8 @@ func (n *Network) Connect(a, b Node, cfg LinkConfig) (ab, ba *Port) {
 		BufBytes: cfg.BufB,
 		Label:    fmt.Sprintf("%s->%s", b.Name(), a.Name()),
 	}
+	ab.txEv.p, ab.rxEv.p = ab, ab
+	ba.txEv.p, ba.rxEv.p = ba, ba
 	a.addPort(ab)
 	b.addPort(ba)
 	return ab, ba
@@ -505,6 +565,7 @@ func (n *Network) ComputeRoutes() {
 			continue
 		}
 		sw.routes = make(map[NodeID][]*Port, len(n.nodes))
+		sw.cachedDst, sw.cachedPorts = 0, nil
 		for _, dst := range n.nodes {
 			if dst.ID() == sw.ID() {
 				continue

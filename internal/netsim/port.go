@@ -63,6 +63,23 @@ type Port struct {
 	qLen   int
 	qBytes int
 	busy   bool
+
+	// Batched port execution: the port owns its serialization and delivery
+	// events instead of drawing pooled carriers per packet. txEv is the
+	// single in-flight serialization completion (a port serializes one
+	// frame at a time); rxEv drains inFl, the FIFO ring of frames
+	// propagating on the wire — per-port deliveries share one fixed Delay,
+	// so they complete in exactly the order they were pushed.
+	txEv    txEvent
+	rxEv    rxEvent
+	inFl    []*Packet
+	inFlHd  int
+	inFlLen int
+	// Serialization-time cache: back-to-back frames of one wire size (the
+	// common case on a saturated port) reuse the previous 128-bit TxTime
+	// computation. Invalidated by SetRate.
+	cachedWire int
+	cachedTxT  sim.Time
 	// Link failure state machine (fault injection): while down, arriving
 	// packets are dropped at the wire. cutTx marks a frame that was mid-
 	// serialization when the link went down — it is lost even if the link
@@ -139,6 +156,7 @@ func (p *Port) SetUp() {
 // serialization; a hook caching the rate is notified via RateObserver.
 func (p *Port) SetRate(r Rate) {
 	p.Rate = r
+	p.cachedWire = 0
 	if ro, ok := p.Hook.(RateObserver); ok {
 		ro.OnRateChange(p)
 	}
@@ -165,11 +183,17 @@ func (p *Port) popQ() *Packet {
 }
 
 func (p *Port) growQ() {
-	n := 2 * len(p.q)
-	if n == 0 {
-		n = 16
+	p.growQ2(2 * len(p.q))
+}
+
+// growQ2 grows the FIFO ring to at least n slots (rounded up to a power
+// of two, minimum 16).
+func (p *Port) growQ2(n int) {
+	c := 16
+	for c < n {
+		c <<= 1
 	}
-	nq := make([]*Packet, n)
+	nq := make([]*Packet, c)
 	for i := 0; i < p.qLen; i++ {
 		nq[i] = p.q[(p.qHead+i)&(len(p.q)-1)]
 	}
@@ -235,9 +259,75 @@ func (p *Port) Enqueue(pkt *Packet) {
 	}
 }
 
+// txEvent is the port-resident serialization-completion event. A port
+// serializes one frame at a time, so a single embedded instance replaces
+// a pooled carrier per packet.
+type txEvent struct {
+	p   *Port
+	pkt *Packet
+}
+
+// RunEvent implements sim.EventTarget.
+func (e *txEvent) RunEvent() {
+	pkt := e.pkt
+	e.pkt = nil
+	e.p.finishTx(pkt)
+}
+
+// rxEvent is the port-resident delivery event: it hands the oldest
+// in-flight frame to the peer. All of a port's deliveries share the fixed
+// propagation Delay and are scheduled in serialization order, so the
+// (time, seq) dispatch order matches the inFl ring's FIFO order exactly.
+type rxEvent struct {
+	p *Port
+}
+
+// RunEvent implements sim.EventTarget.
+func (e *rxEvent) RunEvent() {
+	p := e.p
+	pkt := p.inFl[p.inFlHd]
+	p.inFl[p.inFlHd] = nil
+	p.inFlHd = (p.inFlHd + 1) & (len(p.inFl) - 1)
+	p.inFlLen--
+	p.Peer.Receive(pkt, p)
+}
+
+func (p *Port) pushInFlight(pkt *Packet) {
+	if p.inFlLen == len(p.inFl) {
+		p.growInFl(2 * len(p.inFl))
+	}
+	p.inFl[(p.inFlHd+p.inFlLen)&(len(p.inFl)-1)] = pkt
+	p.inFlLen++
+}
+
+func (p *Port) growInFl(n int) {
+	c := 16
+	for c < n {
+		c <<= 1
+	}
+	n = c
+	ni := make([]*Packet, n)
+	for i := 0; i < p.inFlLen; i++ {
+		ni[i] = p.inFl[(p.inFlHd+i)&(len(p.inFl)-1)]
+	}
+	p.inFl = ni
+	p.inFlHd = 0
+}
+
+// txTime returns the serialization time of a wire-size, via the one-entry
+// cache (saturated ports serialize runs of equal-size frames).
+func (p *Port) txTime(wireBytes int) sim.Time {
+	if wireBytes != p.cachedWire {
+		p.cachedWire = wireBytes
+		p.cachedTxT = p.Rate.TxTime(wireBytes)
+	}
+	return p.cachedTxT
+}
+
 // startTx begins serializing the head-of-line frame. Completion and
-// delivery are pooled events (no closures): one fires when the last bit
-// leaves the port, the second after the propagation delay.
+// delivery are port-resident events (no closures, no per-packet
+// carriers): one fires when the last bit leaves the port, the second
+// after the propagation delay.
 func (p *Port) startTx() {
 	pkt := p.popQ()
 	p.qBytes -= pkt.FrameBytes()
@@ -245,7 +335,8 @@ func (p *Port) startTx() {
 	if p.net.Probe != nil {
 		p.net.Probe.PortDequeue(p, pkt)
 	}
-	p.sim.ScheduleAfter(p.Rate.TxTime(pkt.WireBytes()), p.net.newEvent(evTxDone, p, pkt))
+	p.txEv.pkt = pkt
+	p.sim.ScheduleAfter(p.txTime(pkt.WireBytes()), &p.txEv)
 }
 
 // finishTx runs when the frame has fully serialized onto the link.
@@ -265,7 +356,8 @@ func (p *Port) finishTx(pkt *Packet) {
 	p.TxFrames += int64(pkt.FrameBytes())
 	p.net.trace(TraceTx, p.Label, pkt)
 	pkt.Hops++
-	p.sim.ScheduleAfter(p.Delay, p.net.newEvent(evDeliver, p, pkt))
+	p.pushInFlight(pkt)
+	p.sim.ScheduleAfter(p.Delay, &p.rxEv)
 	if p.qLen > 0 {
 		p.startTx()
 	} else {

@@ -13,6 +13,18 @@
 // EventTarget instead of a closure so that nothing is allocated per event.
 // Generation counters keep Timer handles safe across recycling: Stop and
 // Active on a handle whose node has been reused are harmless no-ops.
+//
+// On top of the heap sits a timer-wheel fast path for the dominant
+// fixed-delay event classes (frame serialization, link propagation,
+// delimiter timers): relative deadlines scheduled through ScheduleAfter /
+// After are routed to a per-delay FIFO lane instead of the heap. Because
+// virtual time never moves backwards, all events of one fixed delay are
+// scheduled in non-decreasing (time, seq) order, so each lane is a plain
+// ring buffer with O(1) push and pop — no sifting. The dispatcher takes
+// the global minimum over the heap root and the lane heads with the exact
+// (time, seq) tie-break the heap alone used, so the execution order (and
+// with it every simulation output) is byte-identical to the heap-only
+// engine; see TestLaneHeapEquivalence and FuzzTimerWheel.
 package sim
 
 import (
@@ -77,9 +89,14 @@ type timerNode struct {
 	gen     uint64
 	fn      func()
 	target  EventTarget
-	index   int32 // heap index, -1 once popped
+	index   int32 // heap index; laneIndex while queued in a lane, -1 once popped
 	stopped bool
 }
+
+// laneIndex marks a node queued in a fixed-delay lane rather than the
+// heap. It is distinct from -1 (popped) so Timer.Stop/Active treat lane
+// nodes as pending.
+const laneIndex int32 = -2
 
 // Timer is a cancellable handle to a scheduled event. It is a small value
 // (copy freely); the zero value is inert: Stop reports false and Active
@@ -121,16 +138,71 @@ func (t Timer) When() Time {
 	return t.n.at
 }
 
+// maxLanes bounds the number of fixed-delay lanes. The hot event classes
+// (frame serialization per wire size, link propagation, delimiter timers)
+// need a handful; everything past the cap falls back to the heap, which is
+// always correct — lane assignment affects performance only, never order.
+const maxLanes = 8
+
+// lane is a FIFO ring of pending nodes that all share one scheduling
+// delay. Because virtual time is non-decreasing, ScheduleAfter with a
+// fixed delay produces non-decreasing deadlines, so the ring is sorted by
+// (at, seq) by construction and push/pop are O(1) with no sifting.
+type lane struct {
+	delay Time
+	ring  []*timerNode // power-of-two capacity
+	head  int
+	n     int
+}
+
+func (l *lane) push(n *timerNode) {
+	if l.n == len(l.ring) {
+		c := len(l.ring) * 2
+		if c == 0 {
+			c = 16
+		}
+		l.growTo(c)
+	}
+	l.ring[(l.head+l.n)&(len(l.ring)-1)] = n
+	l.n++
+}
+
+func (l *lane) growTo(c int) {
+	nr := make([]*timerNode, c)
+	for i := 0; i < l.n; i++ {
+		nr[i] = l.ring[(l.head+i)&(len(l.ring)-1)]
+	}
+	l.ring = nr
+	l.head = 0
+}
+
+func (l *lane) pop() *timerNode {
+	n := l.ring[l.head]
+	l.ring[l.head] = nil
+	l.head = (l.head + 1) & (len(l.ring) - 1)
+	l.n--
+	n.index = -1
+	return n
+}
+
 // Simulator owns virtual time and the pending-event queue.
 type Simulator struct {
 	now Time
 	// events is a 4-ary min-heap ordered by (at, seq). 4-ary beats binary
 	// here: sift-downs touch 4 children per level but run half the levels,
 	// and the children share cache lines.
-	events  []*timerNode
-	free    []*timerNode // recycled nodes
-	seq     uint64
-	stopped bool
+	events []*timerNode
+	// lanes are the timer-wheel fast path: one FIFO ring per distinct
+	// fixed delay seen on ScheduleAfter/After. A lane whose delay falls
+	// out of use is repurposed once it drains.
+	lanes    []lane
+	laneRing int          // warm hint: initial ring capacity for new lanes
+	free     []*timerNode // recycled nodes
+	seq      uint64
+	stopped  bool
+	// disableLanes forces every event through the heap. Test hook for the
+	// lane/heap equivalence and fuzz harnesses; never set in production.
+	disableLanes bool
 	// Rand is the experiment-scoped random source. It is seeded at
 	// construction so runs are reproducible.
 	Rand *rand.Rand
@@ -140,7 +212,10 @@ type Simulator struct {
 
 // New creates a simulator whose random source is seeded with seed.
 func New(seed int64) *Simulator {
-	return &Simulator{Rand: rand.New(rand.NewSource(seed))}
+	return &Simulator{
+		Rand:  rand.New(rand.NewSource(seed)),
+		lanes: make([]lane, 0, maxLanes),
+	}
 }
 
 // Now returns the current virtual time.
@@ -156,9 +231,10 @@ func (s *Simulator) At(t Time, fn func()) Timer {
 	return s.schedule(t, fn, nil)
 }
 
-// After schedules fn d nanoseconds from now.
+// After schedules fn d nanoseconds from now. Relative deadlines take the
+// lane fast path when a lane for d exists or is free (see scheduleRel).
 func (s *Simulator) After(d Time, fn func()) Timer {
-	return s.schedule(s.now+d, fn, nil)
+	return s.scheduleRel(d, fn, nil)
 }
 
 // Schedule is the allocation-free variant of At: tgt.RunEvent runs at
@@ -168,15 +244,67 @@ func (s *Simulator) Schedule(t Time, tgt EventTarget) Timer {
 	return s.schedule(t, nil, tgt)
 }
 
-// ScheduleAfter schedules tgt.RunEvent d nanoseconds from now.
+// ScheduleAfter schedules tgt.RunEvent d nanoseconds from now. Relative
+// deadlines take the lane fast path when a lane for d exists or is free.
 func (s *Simulator) ScheduleAfter(d Time, tgt EventTarget) Timer {
-	return s.schedule(s.now+d, nil, tgt)
+	return s.scheduleRel(d, nil, tgt)
 }
 
-func (s *Simulator) schedule(t Time, fn func(), tgt EventTarget) Timer {
-	if t < s.now {
-		t = s.now
+// scheduleRel implements After/ScheduleAfter. A non-negative fixed delay
+// is pushed onto its lane in O(1); negative delays (clamped to now by the
+// heap path) and delays past the lane cap fall back to the heap. Either
+// placement yields the same execution order — the dispatcher always takes
+// the global (at, seq) minimum across heap and lanes.
+func (s *Simulator) scheduleRel(d Time, fn func(), tgt EventTarget) Timer {
+	if d < 0 || s.disableLanes {
+		return s.schedule(s.now+d, fn, tgt)
 	}
+	l := s.laneFor(d)
+	if l == nil {
+		return s.schedule(s.now+d, fn, tgt)
+	}
+	n := s.newNode(s.now+d, fn, tgt)
+	n.index = laneIndex
+	l.push(n)
+	return Timer{n: n, gen: n.gen}
+}
+
+// laneFor returns the lane for delay d, creating or repurposing one if
+// possible, or nil when every lane is occupied by another delay. The
+// policy only ever consults deterministic simulator state, so lane
+// assignment is itself reproducible run-to-run.
+func (s *Simulator) laneFor(d Time) *lane {
+	empty := -1
+	for i := range s.lanes {
+		l := &s.lanes[i]
+		if l.delay == d {
+			return l
+		}
+		if l.n == 0 && empty < 0 {
+			empty = i
+		}
+	}
+	if len(s.lanes) < maxLanes {
+		c := s.laneRing
+		if c < 16 {
+			c = 16
+		}
+		s.lanes = append(s.lanes, lane{delay: d, ring: make([]*timerNode, c)})
+		return &s.lanes[len(s.lanes)-1]
+	}
+	if empty >= 0 {
+		// A drained lane's delay fell out of use (one-shot jitter values,
+		// rate changes): hand its ring to the new delay.
+		l := &s.lanes[empty]
+		l.delay = d
+		return l
+	}
+	return nil
+}
+
+// newNode takes a node from the free list (or allocates one) and stamps
+// it with the next sequence number.
+func (s *Simulator) newNode(t Time, fn func(), tgt EventTarget) *timerNode {
 	var n *timerNode
 	if k := len(s.free) - 1; k >= 0 {
 		n = s.free[k]
@@ -191,6 +319,14 @@ func (s *Simulator) schedule(t Time, fn func(), tgt EventTarget) Timer {
 	n.target = tgt
 	n.stopped = false
 	s.seq++
+	return n
+}
+
+func (s *Simulator) schedule(t Time, fn func(), tgt EventTarget) Timer {
+	if t < s.now {
+		t = s.now
+	}
+	n := s.newNode(t, fn, tgt)
 	s.push(n)
 	return Timer{n: n, gen: n.gen}
 }
@@ -288,12 +424,33 @@ func (s *Simulator) Run() { s.RunUntil(Time(1<<62 - 1)) }
 //   - Stop() was called: Now() stays at the stopping event.
 func (s *Simulator) RunUntil(end Time) {
 	s.stopped = false
-	for len(s.events) > 0 && !s.stopped {
-		n := s.events[0]
-		if n.at > end {
+	for !s.stopped {
+		// Global minimum across the heap root and the lane heads, with the
+		// same (at, seq) tie-break the heap uses internally. Each lane is
+		// internally sorted, so its head is its minimum; the scan is over
+		// at most maxLanes+1 candidates.
+		var n *timerNode
+		li := -1
+		if len(s.events) > 0 {
+			n = s.events[0]
+		}
+		for i := range s.lanes {
+			l := &s.lanes[i]
+			if l.n == 0 {
+				continue
+			}
+			if h := l.ring[l.head]; n == nil || timerLess(h, n) {
+				n, li = h, i
+			}
+		}
+		if n == nil || n.at > end {
 			break
 		}
-		s.popMin()
+		if li < 0 {
+			s.popMin()
+		} else {
+			s.lanes[li].pop()
+		}
 		if n.stopped {
 			s.recycle(n)
 			continue
@@ -312,10 +469,46 @@ func (s *Simulator) RunUntil(end Time) {
 			fn()
 		}
 	}
-	if s.now < end && !s.stopped && len(s.events) > 0 {
+	if s.now < end && !s.stopped && s.Pending() > 0 {
 		s.now = end
 	}
 }
 
-// Pending returns the number of queued (possibly stopped) events.
-func (s *Simulator) Pending() int { return len(s.events) }
+// Pending returns the number of queued (possibly stopped) events across
+// the heap and the lanes.
+func (s *Simulator) Pending() int {
+	n := len(s.events)
+	for i := range s.lanes {
+		n += s.lanes[i].n
+	}
+	return n
+}
+
+// Warm pre-sizes the engine's memory so a subsequent run whose pending
+// set stays within the given bounds allocates nothing: the free-node list
+// grows to nodes spare timer nodes, the heap to matching capacity, and
+// every lane ring — current and future — to at least ringCap slots
+// (rounded up to a power of two). Intended for benchmarks and
+// latency-sensitive callers; a cold simulator grows on demand instead.
+func (s *Simulator) Warm(nodes, ringCap int) {
+	for len(s.free) < nodes {
+		s.free = append(s.free, &timerNode{})
+	}
+	if cap(s.events) < nodes {
+		ne := make([]*timerNode, len(s.events), nodes)
+		copy(ne, s.events)
+		s.events = ne
+	}
+	rc := 16
+	for rc < ringCap {
+		rc <<= 1
+	}
+	if rc > s.laneRing {
+		s.laneRing = rc
+	}
+	for i := range s.lanes {
+		if l := &s.lanes[i]; len(l.ring) < rc {
+			l.growTo(rc)
+		}
+	}
+}

@@ -238,11 +238,13 @@ func (s *Sender) sendSYN() {
 }
 
 func (s *Sender) mkData(seq int64, n int) *netsim.Packet {
+	// Field assignments, not a struct literal: NewPacket returns a zeroed
+	// packet, so writing only the non-zero fields skips a redundant 96-byte
+	// copy on the per-segment fast path.
 	p := s.cfg.Local.NewPacket()
-	*p = netsim.Packet{
-		Flow: s.cfg.Flow, Src: s.cfg.Local.ID(), Dst: s.cfg.Peer.ID(),
-		Seq: seq, Payload: n, SentAt: s.cfg.Sim.Now(), Window: netsim.WindowUnset,
-	}
+	p.Flow, p.Src, p.Dst = s.cfg.Flow, s.cfg.Local.ID(), s.cfg.Peer.ID()
+	p.Seq, p.Payload = seq, n
+	p.SentAt, p.Window = s.cfg.Sim.Now(), netsim.WindowUnset
 	if s.dctcp != nil {
 		p.Flags |= netsim.FlagECT
 	}
@@ -283,7 +285,9 @@ func (s *Sender) paceReady(seg int64) bool {
 	now := s.cfg.Sim.Now()
 	if s.paceFree > now {
 		if !s.paceTimer.Active() {
-			s.paceTimer = s.cfg.Sim.At(s.paceFree, s.trySend)
+			// The sender is its own event target (RunEvent == trySend), so
+			// re-arming the pacing gate allocates nothing.
+			s.paceTimer = s.cfg.Sim.Schedule(s.paceFree, s)
 		}
 		return false
 	}
@@ -292,6 +296,10 @@ func (s *Sender) paceReady(seg int64) bool {
 	}
 	return true
 }
+
+// RunEvent implements sim.EventTarget: the pacing gate reopened, resume
+// sending.
+func (s *Sender) RunEvent() { s.trySend() }
 
 // clampCwnd applies the Config.CwndCap bound after any window growth.
 func (s *Sender) clampCwnd() {
@@ -581,12 +589,12 @@ func (r *Receiver) Deliver(pkt *netsim.Packet) {
 		if pkt.Flags&netsim.FlagCE != 0 {
 			flags |= netsim.FlagECE
 		}
+		// Field assignments for the same reason as mkData: the ACK path
+		// runs once per delivered segment.
 		p := r.host.NewPacket()
-		*p = netsim.Packet{
-			Flow: r.flow, Src: r.host.ID(), Dst: r.peer.ID(),
-			Flags: flags, Ack: next,
-			SentAt: pkt.SentAt, Window: netsim.WindowUnset,
-		}
+		p.Flow, p.Src, p.Dst = r.flow, r.host.ID(), r.peer.ID()
+		p.Flags, p.Ack = flags, next
+		p.SentAt, p.Window = pkt.SentAt, netsim.WindowUnset
 		r.send(p)
 		if next > before && r.OnData != nil {
 			r.OnData(next)

@@ -77,7 +77,7 @@ func (c *Collector) WriteTrace(w io.Writer) error {
 		for _, e := range t.rec.events() {
 			te := traceEvent{
 				Name: e.name, Cat: e.cat, Ph: string(e.ph),
-				Ts: usec(e.ts), Pid: pid, Tid: e.tid, Args: argMap(e.args),
+				Ts: usec(e.ts), Pid: pid, Tid: e.tid, Args: argMap(e.args[:e.nargs]),
 			}
 			switch e.ph {
 			case 'X':

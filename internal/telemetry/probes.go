@@ -25,6 +25,43 @@ func portKey(p *netsim.Port) string {
 	return fmt.Sprintf("%s#%d-%d", p.Label, p.Owner.ID(), p.Peer.ID())
 }
 
+// flowLabelKey keys the per-trial label cache. Probes that fire per
+// ACK or per slot would otherwise Sprintf the same handful of labels
+// millions of times.
+type flowLabelKey struct {
+	prefix string
+	flow   netsim.FlowID
+}
+
+// flowLabel is the caching form of flowName. Only formats once per
+// (prefix, flow); lookups allocate nothing.
+func (t *Trial) flowLabel(prefix string, f netsim.FlowID) string {
+	k := flowLabelKey{prefix, f}
+	if s, ok := t.flowLabels[k]; ok {
+		return s
+	}
+	if t.flowLabels == nil {
+		t.flowLabels = make(map[flowLabelKey]string)
+	}
+	s := flowName(prefix, f)
+	t.flowLabels[k] = s
+	return s
+}
+
+// portLabel is the caching form of portKey. Keyed by port pointer —
+// lookup only, never iterated, so determinism is unaffected.
+func (t *Trial) portLabel(p *netsim.Port) string {
+	if s, ok := t.portLabels[p]; ok {
+		return s
+	}
+	if t.portLabels == nil {
+		t.portLabels = make(map[*netsim.Port]string)
+	}
+	s := portKey(p)
+	t.portLabels[p] = s
+	return s
+}
+
 // --- netsim: forwarding path ---
 
 type flowTrack struct {
@@ -65,7 +102,7 @@ func (p *netProbe) PortEnqueue(port *netsim.Port, pkt *netsim.Packet) {
 	// per packet (every other hop would double-count).
 	if pkt.Flags&netsim.FlagFIN != 0 {
 		if ft := p.flows[pkt.Flow]; ft != nil {
-			p.t.Span("flow", flowName("flow", pkt.Flow), "flows", ft.start, p.t.now(),
+			p.t.Span("flow", p.t.flowLabel("flow", pkt.Flow), "flows", ft.start, p.t.now(),
 				Arg{"bytes", float64(ft.bytes)}, Arg{"pkts", float64(ft.pkts)})
 			delete(p.flows, pkt.Flow)
 		}
@@ -87,12 +124,12 @@ func (p *netProbe) PortDequeue(port *netsim.Port, pkt *netsim.Packet) {
 func (p *netProbe) PortDrop(port *netsim.Port, pkt *netsim.Packet) {
 	p.drops.Inc()
 	p.dropB.Add(int64(pkt.FrameBytes()))
-	p.t.Instant("net", "drop "+portKey(port), "drops",
+	p.t.Instant("net", "drop "+p.t.portLabel(port), "drops",
 		Arg{"flow", float64(pkt.Flow)}, Arg{"seq", float64(pkt.Seq)})
 }
 
 func (p *netProbe) LinkState(port *netsim.Port, down bool) {
-	key := portKey(port)
+	key := p.t.portLabel(port)
 	if down {
 		p.downAt[key] = p.t.now()
 		return
@@ -115,7 +152,7 @@ func (p *netProbe) flush(now sim.Time) {
 	for _, id := range ids {
 		f := netsim.FlowID(id)
 		ft := p.flows[f]
-		p.t.Span("flow", flowName("flow", f), "flows", ft.start, now,
+		p.t.Span("flow", p.t.flowLabel("flow", f), "flows", ft.start, now,
 			Arg{"bytes", float64(ft.bytes)}, Arg{"pkts", float64(ft.pkts)},
 			Arg{"open", 1})
 	}
@@ -183,7 +220,7 @@ func (p *tfcProbe) ensure() {
 func (p *tfcProbe) SlotEnd(port *netsim.Port, info core.SlotInfo) {
 	p.slots.Inc()
 	p.rttm.Observe(info.RTTm.Micros())
-	key := portKey(port)
+	key := p.t.portLabel(port)
 	p.t.CounterEvent("tfc", "tfc "+key, key,
 		Arg{"tokens", info.T}, Arg{"eflows", float64(info.E)}, Arg{"window", info.W})
 }
@@ -194,16 +231,16 @@ func (p *tfcProbe) WindowStamp(port *netsim.Port, flow netsim.FlowID, window int
 
 func (p *tfcProbe) DelayHold(port *netsim.Port, flow netsim.FlowID, held int) {
 	p.delayed.Inc()
-	k := holdKey{portKey(port), flow}
+	k := holdKey{p.t.portLabel(port), flow}
 	if _, dup := p.holdAt[k]; !dup {
 		p.holdAt[k] = p.t.now()
 	}
 }
 
 func (p *tfcProbe) DelayGrant(port *netsim.Port, flow netsim.FlowID, held int) {
-	k := holdKey{portKey(port), flow}
+	k := holdKey{p.t.portLabel(port), flow}
 	if at, ok := p.holdAt[k]; ok {
-		p.t.Span("tfc", flowName("ack-hold", flow), port.Label, at, p.t.now(),
+		p.t.Span("tfc", p.t.flowLabel("ack-hold", flow), port.Label, at, p.t.now(),
 			Arg{"held", float64(held)})
 		delete(p.holdAt, k)
 	}
@@ -224,7 +261,7 @@ func (p *tfcProbe) flush(now sim.Time) {
 		return keys[i].flow < keys[j].flow
 	})
 	for _, k := range keys {
-		p.t.Span("tfc", flowName("ack-hold", k.flow), k.label, p.holdAt[k], now,
+		p.t.Span("tfc", p.t.flowLabel("ack-hold", k.flow), k.label, p.holdAt[k], now,
 			Arg{"open", 1})
 	}
 }
@@ -282,13 +319,13 @@ func (p *transportProbe) ensure() {
 
 func (p *transportProbe) Cwnd(flow netsim.FlowID, cwnd, ssthresh int64) {
 	p.cwnd.Observe(float64(cwnd))
-	p.t.CounterEvent("tcp", flowName("cwnd", flow), "cwnd",
+	p.t.CounterEvent("tcp", p.t.flowLabel("cwnd", flow), "cwnd",
 		Arg{"cwnd", float64(cwnd)}, Arg{"ssthresh", float64(ssthresh)})
 }
 
 func (p *transportProbe) RTOFired(flow netsim.FlowID, backoff uint) {
 	p.rtos.Inc()
-	p.t.Instant("tcp", flowName("rto", flow), "rto", Arg{"backoff", float64(backoff)})
+	p.t.Instant("tcp", p.t.flowLabel("rto", flow), "rto", Arg{"backoff", float64(backoff)})
 }
 
 func (p *transportProbe) Recovery(flow netsim.FlowID, enter bool) {
@@ -300,7 +337,7 @@ func (p *transportProbe) Recovery(flow netsim.FlowID, enter bool) {
 		return
 	}
 	if at, ok := p.frAt[flow]; ok {
-		p.t.Span("tcp", flowName("fast-recovery", flow), "recovery", at, p.t.now())
+		p.t.Span("tcp", p.t.flowLabel("fast-recovery", flow), "recovery", at, p.t.now())
 		delete(p.frAt, flow)
 	}
 }
@@ -310,7 +347,7 @@ func (p *transportProbe) Retransmit(flow netsim.FlowID, bytes int64) {
 }
 
 func (p *transportProbe) CreditRate(flow netsim.FlowID, perSec float64) {
-	p.t.CounterEvent("credit", flowName("credit-rate", flow), "credit",
+	p.t.CounterEvent("credit", p.t.flowLabel("credit-rate", flow), "credit",
 		Arg{"rate", perSec})
 }
 
@@ -325,7 +362,7 @@ func (p *transportProbe) flush(now sim.Time) {
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	for _, id := range ids {
 		f := netsim.FlowID(id)
-		p.t.Span("tcp", flowName("fast-recovery", f), "recovery", p.frAt[f], now,
+		p.t.Span("tcp", p.t.flowLabel("fast-recovery", f), "recovery", p.frAt[f], now,
 			Arg{"open", 1})
 	}
 }

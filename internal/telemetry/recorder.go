@@ -10,16 +10,31 @@ type Arg struct {
 	V float64
 }
 
+// maxArgs bounds the args an event can carry. Args live inline in the
+// event struct so that pushing an event never allocates: the variadic
+// slice at the probe call site is copied by value and never escapes.
+const maxArgs = 3
+
 // event is one recorded trace event. ph follows the Chrome trace-event
 // phases used here: 'X' complete span (ts+dur), 'i' instant, 'C' counter.
 type event struct {
-	name string
-	cat  string
-	ph   byte
-	ts   sim.Time
-	dur  sim.Time
-	tid  int
-	args []Arg
+	name  string
+	cat   string
+	ph    byte
+	nargs uint8
+	ts    sim.Time
+	dur   sim.Time
+	tid   int
+	args  [maxArgs]Arg
+}
+
+// setArgs copies args inline (pushing more than maxArgs is a programming
+// error in this package's probes, caught loudly rather than truncated).
+func (e *event) setArgs(args []Arg) {
+	if len(args) > maxArgs {
+		panic("telemetry: event exceeds maxArgs")
+	}
+	e.nargs = uint8(copy(e.args[:], args))
 }
 
 // recorder is a bounded ring of events. When full, the oldest events are

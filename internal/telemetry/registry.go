@@ -87,7 +87,13 @@ func (r *registry) gauge(name string, fn func() float64) {
 		r.gIdx = make(map[string]int)
 	}
 	r.gIdx[name] = len(r.gauges)
-	r.gauges = append(r.gauges, &gauge{name: name, fn: fn})
+	g := &gauge{name: name, fn: fn}
+	// Pre-size the sample buffers: at the default 1ms cadence this covers
+	// a quarter-second of simulation before the series ever grows, keeping
+	// append-driven reallocation off the sampling path.
+	g.series.T = make([]sim.Time, 0, 256)
+	g.series.V = make([]float64, 0, 256)
+	r.gauges = append(r.gauges, g)
 }
 
 func (r *registry) histogram(name string, bounds []float64) *Hist {

@@ -25,6 +25,7 @@ import (
 	"sort"
 	"sync"
 
+	"tfcsim/internal/netsim"
 	"tfcsim/internal/sim"
 )
 
@@ -120,6 +121,10 @@ type Trial struct {
 
 	stopSample bool
 	flushed    bool
+
+	// Hot-path label caches (see flowLabel / portLabel in probes.go).
+	flowLabels map[flowLabelKey]string
+	portLabels map[*netsim.Port]string
 
 	net netProbe
 	tfc tfcProbe
@@ -239,8 +244,10 @@ func (t *Trial) Span(cat, name, track string, start, end sim.Time, args ...Arg) 
 	if end < start {
 		end = start
 	}
-	t.rec.push(event{name: name, cat: cat, ph: 'X', ts: start, dur: end - start,
-		tid: t.rec.tid(track), args: args})
+	e := event{name: name, cat: cat, ph: 'X', ts: start, dur: end - start,
+		tid: t.rec.tid(track)}
+	e.setArgs(args)
+	t.rec.push(e)
 }
 
 // Instant records a point event at the current virtual time.
@@ -248,8 +255,9 @@ func (t *Trial) Instant(cat, name, track string, args ...Arg) {
 	if t == nil {
 		return
 	}
-	t.rec.push(event{name: name, cat: cat, ph: 'i', ts: t.now(),
-		tid: t.rec.tid(track), args: args})
+	e := event{name: name, cat: cat, ph: 'i', ts: t.now(), tid: t.rec.tid(track)}
+	e.setArgs(args)
+	t.rec.push(e)
 }
 
 // CounterEvent records a counter sample (graphed as a series in
@@ -258,6 +266,7 @@ func (t *Trial) CounterEvent(cat, name, track string, args ...Arg) {
 	if t == nil {
 		return
 	}
-	t.rec.push(event{name: name, cat: cat, ph: 'C', ts: t.now(),
-		tid: t.rec.tid(track), args: args})
+	e := event{name: name, cat: cat, ph: 'C', ts: t.now(), tid: t.rec.tid(track)}
+	e.setArgs(args)
+	t.rec.push(e)
 }

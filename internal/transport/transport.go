@@ -141,6 +141,12 @@ func (r *Reassembly) Add(start int64, n int) int64 {
 	if end <= r.next {
 		return r.next // fully duplicate
 	}
+	if start <= r.next && len(r.segs) == 0 {
+		// In-order fast path: nothing buffered, the segment extends the
+		// contiguous prefix directly.
+		r.next = end
+		return r.next
+	}
 	if start < r.next {
 		start = r.next
 	}
@@ -157,13 +163,30 @@ func (r *Reassembly) Add(start int64, n int) int64 {
 		}
 		j++
 	}
-	r.segs = append(r.segs[:i], append([]seg{merged}, r.segs[j:]...)...)
-	// Advance next over any now-contiguous prefix.
-	for len(r.segs) > 0 && r.segs[0].start <= r.next {
-		if r.segs[0].end > r.next {
-			r.next = r.segs[0].end
+	// Splice merged over segs[i:j] in place. Both branches reuse the
+	// existing backing array, so a receiver in steady state (bounded
+	// out-of-order window) never allocates here after the first few adds.
+	if j == i {
+		// No overlap: open a hole at i.
+		r.segs = append(r.segs, seg{})
+		copy(r.segs[i+1:], r.segs[i:])
+		r.segs[i] = merged
+	} else {
+		r.segs[i] = merged
+		r.segs = append(r.segs[:i+1], r.segs[j:]...)
+	}
+	// Advance next over any now-contiguous prefix, compacting in place to
+	// keep the slice capacity (segs[1:] would strand it).
+	adv := 0
+	for adv < len(r.segs) && r.segs[adv].start <= r.next {
+		if r.segs[adv].end > r.next {
+			r.next = r.segs[adv].end
 		}
-		r.segs = r.segs[1:]
+		adv++
+	}
+	if adv > 0 {
+		k := copy(r.segs, r.segs[adv:])
+		r.segs = r.segs[:k]
 	}
 	return r.next
 }
@@ -233,9 +256,14 @@ func (t *RTOTimer) Arm(d sim.Time) {
 	t.schedule()
 }
 
+// schedule arms the underlying simulator timer. The RTOTimer itself is
+// the event target, so re-arming never allocates a closure.
 func (t *RTOTimer) schedule() {
-	t.timer = t.s.At(t.deadline, t.onFire)
+	t.timer = t.s.Schedule(t.deadline, t)
 }
+
+// RunEvent implements sim.EventTarget.
+func (t *RTOTimer) RunEvent() { t.onFire() }
 
 func (t *RTOTimer) onFire() {
 	if !t.armed {

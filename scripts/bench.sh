@@ -22,5 +22,18 @@ go test -run '^$' -bench '^BenchmarkEngineThroughput(Telemetry)?$' -count=5 . | 
 go test -run '^$' -bench '^Benchmark(TimerChurn|TimerChurnStop|EventTarget|HeapDepth)' ./internal/sim/ | tee -a "$txt"
 go test -run '^$' -bench '^Benchmark(SaturatedPort|IncastBurst)$' ./internal/netsim/ | tee -a "$txt"
 
-go run ./cmd/benchjson -label "$label" -o "$json" "$txt"
+# Diff against the most recent committed BENCH_*.json (other than the one
+# being written), and gate hard on the telemetry-off alloc budget: the
+# steady-state engine path must stay allocation-free.
+prev=""
+for f in $(git ls-files 'BENCH_*.json' | sort -V); do
+	[ "$f" = "$json" ] && continue
+	prev="$f"
+done
+prevargs=""
+[ -n "$prev" ] && prevargs="-prev $prev"
+
+go run ./cmd/benchjson -label "$label" -o "$json" $prevargs \
+	-gate 'BenchmarkEngineThroughput:allocs/pkt-hop<=0' \
+	"$txt"
 echo "wrote $json"
