@@ -346,3 +346,34 @@ func BenchmarkEngineThroughputTelemetry(b *testing.B) {
 	b.ReportMetric(float64(winEvents)/b.Elapsed().Seconds()/1e6, "Mevents/wallsec")
 	b.ReportMetric(float64(allocs)/float64(winHops), "allocs/pkt-hop")
 }
+
+// BenchmarkShardedFatTree drives the k=16 fat-tree permutation workload
+// through the conservative parallel engine at increasing shard counts —
+// the BENCH_3 artifact (scripts/bench.sh shard-sweep). Mevents/simsec is
+// the determinism canary: sharded execution is byte-identical to
+// sequential, so the event count per simulated second cannot move with
+// the shard count. Mevents/wallsec is the scaling figure; the parallel
+// engine's epoch barriers are pure overhead on a single-core host, so
+// speedup only appears with at least as many cores as shards.
+func BenchmarkShardedFatTree(b *testing.B) {
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			var events uint64
+			var simsec float64
+			for i := 0; i < b.N; i++ {
+				cfg := exp.PermutationConfig{}
+				cfg.Proto = exp.TFC
+				cfg.Seed = 1
+				cfg.K = 16
+				cfg.Shards = shards
+				cfg.Warmup = sim.Millisecond
+				cfg.Duration = 5 * sim.Millisecond
+				r := exp.Permutation(cfg)
+				events += r.Events
+				simsec += cfg.Duration.Seconds()
+			}
+			b.ReportMetric(float64(events)/simsec/1e6, "Mevents/simsec")
+			b.ReportMetric(float64(events)/b.Elapsed().Seconds()/1e6, "Mevents/wallsec")
+		})
+	}
+}

@@ -7,8 +7,8 @@
 // Usage:
 //
 //	tfcsim list
-//	tfcsim run <experiment> [-scale quick|paper] [-proto a,b,...] [-j N] [-seed N] [-out FILE] [-csv DIR] [-trace FILE] [-metrics FILE] [-v]
-//	tfcsim all [-scale quick|paper] [-proto a,b,...] [-j N] [-seed N] [-out FILE] [-csv DIR] [-trace FILE] [-metrics FILE] [-v]
+//	tfcsim run <experiment> [-scale quick|paper] [-proto a,b,...] [-j N] [-shards N] [-seed N] [-out FILE] [-csv DIR] [-trace FILE] [-metrics FILE] [-v]
+//	tfcsim all [-scale quick|paper] [-proto a,b,...] [-j N] [-shards N] [-seed N] [-out FILE] [-csv DIR] [-trace FILE] [-metrics FILE] [-v]
 //	tfcsim verify
 package main
 
@@ -42,6 +42,9 @@ Flags for run/all:
   -proto a,b,...       restrict protocol-matrix experiments to these
                        registered transports (registered: %s)
   -j N                 parallel trials (default GOMAXPROCS = %d; 1 = serial)
+  -shards N            shards per trial for the parallel engine (default 1 =
+                       sequential; 0 = auto by topology; output is byte-identical
+                       at any value; fig08-10, robustness, fattree honor it)
   -seed N              base seed; trial seeds derive from (seed, trial index)
   -out FILE            also write output to this file
   -csv DIR             export raw series/CDF data as CSV (fig06, fig08-10, fig12, fig13)
@@ -77,6 +80,7 @@ func main() {
 		protoFlag := fs.String("proto", "",
 			"comma-separated protocol subset for matrix experiments (empty = experiment defaults)")
 		jobs := fs.Int("j", 0, "parallel trials (0 = GOMAXPROCS)")
+		shards := fs.Int("shards", 1, "shards per trial (1 = sequential, 0 = auto by topology)")
 		seed := fs.Int64("seed", 1, "base seed for per-trial seed derivation")
 		out := fs.String("out", "", "also write output to this file")
 		csv := fs.String("csv", "", "export raw series/CDF data as CSV into this directory")
@@ -135,6 +139,10 @@ func main() {
 			Seed:        *seed,
 			Parallelism: *jobs,
 			CSVDir:      *csv,
+			Shards:      *shards,
+		}
+		if *shards == 0 {
+			opts.Shards = -1 // auto: topology's natural shard count, capped at GOMAXPROCS
 		}
 		if *protoFlag != "" {
 			for _, p := range strings.Split(*protoFlag, ",") {

@@ -40,6 +40,16 @@ type RunOptions struct {
 	// Parallelism is the number of trials run concurrently; <= 0 means
 	// runtime.GOMAXPROCS(0). Use 1 for strictly serial execution.
 	Parallelism int
+	// Shards selects the per-trial execution engine: 0 or 1 (default)
+	// runs each trial on the sequential simulator, >= 2 partitions each
+	// trial's topology into up to that many shards driven in parallel by
+	// the conservative engine, and -1 uses the topology's natural shard
+	// count capped at GOMAXPROCS. Like Parallelism, it never changes the
+	// output — sharded trials are byte-identical to sequential ones.
+	// Experiments whose topology or workload does not decompose (fig12's
+	// incast bookkeeping, the fig13/fig16 benchmark, single-path
+	// topologies) ignore it; fig08-10, robustness and fattree honor it.
+	Shards int
 	// CSVDir, if non-empty, makes experiments that support raw data
 	// export (fig06, fig08-10, fig12, fig13) write CSV files there.
 	CSVDir string
@@ -120,6 +130,7 @@ type runCtx struct {
 	scale  Scale
 	seed   int64
 	csvDir string
+	shards int // RunOptions.Shards (per-trial engine selector)
 	pool   *runner.Pool
 	tel    *telemetry.Collector // nil when telemetry is off
 	protos []exp.Proto          // RunOptions.Protos override (validated)
@@ -181,8 +192,8 @@ func (e Experiment) Run(ctx context.Context, opts RunOptions) (*Result, error) {
 			}
 		},
 	}
-	rc := &runCtx{scale: opts.Scale, seed: opts.Seed, csvDir: opts.CSVDir, pool: pool,
-		protos: opts.Protos}
+	rc := &runCtx{scale: opts.Scale, seed: opts.Seed, csvDir: opts.CSVDir,
+		shards: opts.Shards, pool: pool, protos: opts.Protos}
 	if opts.Telemetry != nil {
 		rc.tel = telemetry.NewCollector(*opts.Telemetry)
 		res.Telemetry = rc.tel
@@ -255,6 +266,7 @@ var registry = []Experiment{
 		run: func(ctx context.Context, rc *runCtx) (any, string, error) {
 			cfg := exp.QueueFairnessConfig{CSVDir: rc.csvDir}
 			cfg.TelemetryC = rc.tel
+			cfg.Shards = rc.shards
 			if rc.paper() {
 				cfg.StartInterval = 3 * sim.Second
 				cfg.Tail = 3 * sim.Second
@@ -304,6 +316,7 @@ var registry = []Experiment{
 		run: func(ctx context.Context, rc *runCtx) (any, string, error) {
 			cfg := exp.IncastConfig{}
 			cfg.TelemetryC = rc.tel
+			cfg.Shards = rc.shards // documented no-op: exp.Incast forces sequential
 			senders := []int{10, 40, 70, 100}
 			protos := rc.protoList(exp.AllProtos)
 			if rc.paper() {
@@ -435,6 +448,7 @@ var registry = []Experiment{
 		run: func(ctx context.Context, rc *runCtx) (any, string, error) {
 			cfg := exp.PermutationConfig{}
 			cfg.TelemetryC = rc.tel
+			cfg.Shards = rc.shards
 			if rc.paper() {
 				cfg.K = 8
 				cfg.Duration = 300 * sim.Millisecond
@@ -471,6 +485,7 @@ var registry = []Experiment{
 		run: func(ctx context.Context, rc *runCtx) (any, string, error) {
 			cfg := exp.RobustnessConfig{}
 			cfg.TelemetryC = rc.tel
+			cfg.Shards = rc.shards
 			if rc.paper() {
 				cfg.Tail = 2 * sim.Second
 			}

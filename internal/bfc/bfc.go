@@ -141,7 +141,7 @@ func NewSender(cfg Config) *Sender {
 // ACK TCP receiver — BFC needs nothing receiver-side), registering both.
 func Dial(cfg Config) (*Sender, *tcp.Receiver) {
 	s := NewSender(cfg)
-	r := tcp.NewReceiver(cfg.Sim, cfg.Peer, cfg.Local, cfg.Flow)
+	r := tcp.NewReceiver(cfg.Peer.Sim(), cfg.Peer, cfg.Local, cfg.Flow)
 	return s, r
 }
 
@@ -244,7 +244,7 @@ func (s *Sender) retransmit(seq int64) {
 	}
 	s.st.RtxBytes += seg
 	if s.cfg.Probe != nil {
-		s.cfg.Probe.Retransmit(s.cfg.Flow, seg)
+		s.cfg.Probe.Retransmit(s.cfg.Sim.Now(), s.cfg.Flow, seg)
 	}
 	s.cfg.Local.Send(s.mkData(seq, int(seg)))
 }
@@ -268,7 +268,7 @@ func (s *Sender) onRTO() {
 	s.st.Timeouts++
 	s.rtoBackoff++
 	if s.cfg.Probe != nil {
-		s.cfg.Probe.RTOFired(s.cfg.Flow, s.rtoBackoff)
+		s.cfg.Probe.RTOFired(s.cfg.Sim.Now(), s.cfg.Flow, s.rtoBackoff)
 	}
 	if s.state == stateSynSent {
 		s.sendSYN()
@@ -283,14 +283,14 @@ func (s *Sender) onRTO() {
 	// window could deadlock the flow.
 	s.paused = false
 	if s.inFR && s.cfg.Probe != nil {
-		s.cfg.Probe.Recovery(s.cfg.Flow, false)
+		s.cfg.Probe.Recovery(s.cfg.Sim.Now(), s.cfg.Flow, false)
 	}
 	s.sndNxt = s.sndUna // go-back-N
 	s.dupacks = 0
 	s.inFR = false
 	s.st.RtxBytes += minI64(int64(s.cfg.MSS), s.budget-s.sndUna)
 	if s.cfg.Probe != nil {
-		s.cfg.Probe.Retransmit(s.cfg.Flow, minI64(int64(s.cfg.MSS), s.budget-s.sndUna))
+		s.cfg.Probe.Retransmit(s.cfg.Sim.Now(), s.cfg.Flow, minI64(int64(s.cfg.MSS), s.budget-s.sndUna))
 	}
 	s.trySend()
 	s.armRTO()
@@ -349,7 +349,7 @@ func (s *Sender) Deliver(pkt *netsim.Packet) {
 			s.est.Observe(s.cfg.Sim.Now() - pkt.SentAt)
 			s.rto.Stop()
 			if s.cfg.Probe != nil {
-				s.cfg.Probe.Cwnd(s.cfg.Flow, s.cfg.Window, s.cfg.Window)
+				s.cfg.Probe.Cwnd(s.cfg.Sim.Now(), s.cfg.Flow, s.cfg.Window, s.cfg.Window)
 			}
 			s.trySend()
 			if s.budget == 0 && s.closing {
@@ -377,7 +377,7 @@ func (s *Sender) Deliver(pkt *netsim.Packet) {
 				s.inFR = false
 				s.dupacks = 0
 				if s.cfg.Probe != nil {
-					s.cfg.Probe.Recovery(s.cfg.Flow, false)
+					s.cfg.Probe.Recovery(s.cfg.Sim.Now(), s.cfg.Flow, false)
 				}
 			} else {
 				// Partial ACK: retransmit the next hole, stay in recovery.
@@ -407,7 +407,7 @@ func (s *Sender) Deliver(pkt *netsim.Packet) {
 			s.recover = s.sndNxt
 			s.inFR = true
 			if s.cfg.Probe != nil {
-				s.cfg.Probe.Recovery(s.cfg.Flow, true)
+				s.cfg.Probe.Recovery(s.cfg.Sim.Now(), s.cfg.Flow, true)
 			}
 			s.retransmit(s.sndUna)
 			s.armRTO()

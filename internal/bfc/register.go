@@ -26,7 +26,8 @@ func init() {
 			probe, _ := a.Probe.(PauseProbe)
 			var hooks []*Hook
 			for _, sw := range a.Switches {
-				for _, h := range AttachSwitch(a.Sim, sw, knobs) {
+				// Each switch's hooks run on its own shard simulator.
+				for _, h := range AttachSwitch(sw.Sim(), sw, knobs) {
 					h.SetProbe(probe)
 					hooks = append(hooks, h)
 				}

@@ -181,7 +181,7 @@ func (h *Hook) signal(flow netsim.FlowID, dst netsim.NodeID, flag netsim.Flag) {
 	if h.probe != nil {
 		h.probe(h.port, flow, flag == netsim.FlagXOF)
 	}
-	p := h.port.Network().NewPacket()
+	p := h.port.NewPacket()
 	*p = netsim.Packet{
 		Flow: flow, Src: h.sw.ID(), Dst: dst,
 		Flags:  flag | netsim.FlagACK,

@@ -14,6 +14,17 @@ import (
 	"tfcsim/internal/sim"
 )
 
+// when is a test shorthand for the armed deadline of a timer that the
+// test has already established is pending.
+func when(t *testing.T, tm sim.Timer) sim.Time {
+	t.Helper()
+	w, ok := tm.When()
+	if !ok {
+		t.Fatal("timer unexpectedly stale")
+	}
+	return w
+}
+
 func TestUnitDelimiterMissBackoffBoundedAndRecovers(t *testing.T) {
 	s := sim.New(1)
 	st, p := mkPort(s, SwitchConfig{})
@@ -37,7 +48,7 @@ func TestUnitDelimiterMissBackoffBoundedAndRecovers(t *testing.T) {
 		if !st.dTimer.Active() {
 			t.Fatalf("miss %d: staleness timer not armed", k)
 		}
-		fireAt := st.dTimer.When()
+		fireAt := when(t, st.dTimer)
 		s.RunUntil(fireAt + 1)
 		wantK := k
 		if wantK > maxK {
@@ -61,14 +72,14 @@ func TestUnitDelimiterMissBackoffBoundedAndRecovers(t *testing.T) {
 		if shift > uint(maxK) {
 			shift = uint(maxK)
 		}
-		if got, want := st.dTimer.When()-adoptAt, rtt<<shift; got != want {
+		if got, want := when(t, st.dTimer)-adoptAt, rtt<<shift; got != want {
 			t.Fatalf("miss %d: staleness interval %v, want %v (2^%d * rtt_last)",
 				k, got, want, shift)
 		}
 	}
 	// The interval never exceeded rtt << MaxMissK — with MaxMissK = 7 and
 	// rtt_last = 100us that is 12.8ms, not minutes.
-	if got, want := st.dTimer.When()-s.Now()+1, rtt<<uint(maxK); got > want {
+	if got, want := when(t, st.dTimer)-s.Now()+1, rtt<<uint(maxK); got > want {
 		t.Fatalf("backoff escaped the clamp: %v > %v", got, want)
 	}
 
@@ -84,7 +95,7 @@ func TestUnitDelimiterMissBackoffBoundedAndRecovers(t *testing.T) {
 	if st.MissK() != 0 {
 		t.Fatalf("missK = %d after a completed slot, want 0", st.MissK())
 	}
-	if got := st.dTimer.When() - endAt; got >= rtt<<2 {
+	if got := when(t, st.dTimer) - endAt; got >= rtt<<2 {
 		t.Fatalf("staleness interval %v after recovery, want < %v", got, rtt<<2)
 	}
 }

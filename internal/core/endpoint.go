@@ -101,10 +101,12 @@ func NewSender(cfg Config) *Sender {
 	return s
 }
 
-// Dial creates a TFC sender and its matching receiver.
+// Dial creates a TFC sender and its matching receiver. The receiver runs
+// on the peer host's simulator — distinct from cfg.Sim once the network
+// is partitioned across shards.
 func Dial(cfg Config) (*Sender, *Receiver) {
 	s := NewSender(cfg)
-	r := NewReceiver(cfg.Sim, cfg.Peer, cfg.Local, cfg.Flow, cfg.RcvWnd)
+	r := NewReceiver(cfg.Peer.Sim(), cfg.Peer, cfg.Local, cfg.Flow, cfg.RcvWnd)
 	return s, r
 }
 

@@ -29,7 +29,8 @@ func init() {
 			}
 			states := make(map[*netsim.Switch]*SwitchState, len(a.Switches))
 			for _, sw := range a.Switches {
-				states[sw] = Attach(a.Sim, sw, cfg)
+				// Each switch's state runs on its own shard simulator.
+				states[sw] = Attach(sw.Sim(), sw, cfg)
 			}
 			return states
 		},

@@ -57,12 +57,15 @@ type Config struct {
 }
 
 // Probe observes the credit transport for the telemetry layer
-// (internal/telemetry). All callbacks are read-only observers.
+// (internal/telemetry). All callbacks are read-only observers. Each
+// callback carries the observed endpoint's current virtual time: sender
+// and receiver run on different simulators once the network is
+// partitioned, so the probe cannot consult a single clock.
 type Probe interface {
 	// RTOFired runs when the sender's retransmission safety net expires.
-	RTOFired(flow netsim.FlowID, backoff uint)
+	RTOFired(now sim.Time, flow netsim.FlowID, backoff uint)
 	// CreditRate runs after every receiver rate adjustment (credits/s).
-	CreditRate(flow netsim.FlowID, perSec float64)
+	CreditRate(now sim.Time, flow netsim.FlowID, perSec float64)
 }
 
 func (c *Config) fill() {
@@ -120,7 +123,10 @@ func NewSender(cfg Config) *Sender {
 	return s
 }
 
-// Dial creates a sender and its matching receiver.
+// Dial creates a sender and its matching receiver. NewReceiver rebinds
+// its config to the peer host's simulator (the receiver's pacer and
+// epoch timers are receiver-side state), so the two endpoints run on
+// their own shards once the network is partitioned.
 func Dial(cfg Config) (*Sender, *Receiver) {
 	s := NewSender(cfg)
 	r := NewReceiver(cfg)
@@ -260,7 +266,7 @@ func (s *Sender) onRTO() {
 	s.st.Timeouts++
 	s.rtoBackoff++
 	if s.cfg.Probe != nil {
-		s.cfg.Probe.RTOFired(s.cfg.Flow, s.rtoBackoff)
+		s.cfg.Probe.RTOFired(s.cfg.Sim.Now(), s.cfg.Flow, s.rtoBackoff)
 	}
 	// Go-back-N and re-request credits.
 	s.st.RtxBytes += s.sndNxt - s.sndUna

@@ -34,8 +34,11 @@ type Receiver struct {
 }
 
 // NewReceiver creates (and registers at the peer host) the credit source.
+// The receiver's timers (credit pacer, waste epochs) run on the peer
+// host's simulator, so its config is rebound to it here.
 func NewReceiver(cfg Config) *Receiver {
 	cfg.fill()
+	cfg.Sim = cfg.Peer.Sim()
 	r := &Receiver{cfg: cfg, remaining: -1}
 	nicBps := cfg.Peer.NIC().Rate.BytesPerSecond()
 	dataWire := float64(cfg.MSS + netsim.HeaderBytes + netsim.WireOverheadBytes)
@@ -162,7 +165,7 @@ func (r *Receiver) feedback() {
 		r.rate = min
 	}
 	if r.cfg.Probe != nil {
-		r.cfg.Probe.CreditRate(r.cfg.Flow, r.rate)
+		r.cfg.Probe.CreditRate(r.cfg.Sim.Now(), r.cfg.Flow, r.rate)
 	}
 	if r.epochUsed == 0 {
 		r.barren++
@@ -275,7 +278,7 @@ func (sh *Shaper) Intercept(pkt *netsim.Packet, out *netsim.Port, sw *netsim.Swi
 	}
 	if len(b.queue) >= sh.QueueCap {
 		sh.Dropped++
-		out.Network().ReleasePacket(pkt) // credit shaped away
+		out.ReleasePacket(pkt) // credit shaped away
 		return true
 	}
 	//tfcvet:allow poolsafe — deliberate ownership transfer: returning true tells the switch the credit is held; scheduleRelease later re-injects it

@@ -22,7 +22,8 @@ func init() {
 		Attach: func(a transport.AttachConfig) any {
 			var shapers []*Shaper
 			for _, sw := range a.Switches {
-				shapers = append(shapers, AttachShaper(a.Sim, sw, 0))
+				// Each switch's shaper runs on its own shard simulator.
+				shapers = append(shapers, AttachShaper(sw.Sim(), sw, 0))
 			}
 			return shapers
 		},

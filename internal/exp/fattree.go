@@ -39,13 +39,20 @@ func FatTree(cfg TopoConfig, k int, rate netsim.Rate, buf int) *FatTreeEnv {
 		Rate: rate, Delay: 5 * sim.Microsecond, BufA: buf, BufB: buf,
 	}
 	ft := &FatTreeEnv{Env: e, K: k}
+	// Natural decomposition for sharded runs: one group per pod, with
+	// the core layer spread round-robin over the pod groups. Every
+	// boundary link (pod<->core) carries propagation delay, which becomes
+	// the parallel engine's lookahead.
 	for i := 0; i < half*half; i++ {
-		ft.Cores = append(ft.Cores, e.newSwitch(fmt.Sprintf("core%d", i)))
+		core := e.newSwitch(fmt.Sprintf("core%d", i))
+		e.place(i%k, core)
+		ft.Cores = append(ft.Cores, core)
 	}
 	for p := 0; p < k; p++ {
 		var aggs, edges []*netsim.Switch
 		for a := 0; a < half; a++ {
 			agg := e.newSwitch(fmt.Sprintf("agg%d.%d", p, a))
+			e.place(p, agg)
 			aggs = append(aggs, agg)
 			// Aggregation switch a connects to cores [a*half, (a+1)*half).
 			for c := 0; c < half; c++ {
@@ -55,12 +62,14 @@ func FatTree(cfg TopoConfig, k int, rate netsim.Rate, buf int) *FatTreeEnv {
 		var hosts []*netsim.Host
 		for ed := 0; ed < half; ed++ {
 			edge := e.newSwitch(fmt.Sprintf("edge%d.%d", p, ed))
+			e.place(p, edge)
 			edges = append(edges, edge)
 			for _, agg := range aggs {
 				e.Net.Connect(edge, agg, link)
 			}
 			for hIdx := 0; hIdx < half; hIdx++ {
 				h := e.newHost(fmt.Sprintf("h%d.%d.%d", p, ed, hIdx), cfg.HostJitter)
+				e.place(p, h)
 				e.Net.Connect(h, edge, netsim.LinkConfig{
 					Rate: rate, Delay: 5 * sim.Microsecond, BufB: buf,
 				})

@@ -73,6 +73,13 @@ func (p IncastPoint) SimEvents() uint64 { return p.Events }
 // Incast runs one incast configuration.
 func Incast(cfg IncastConfig) IncastPoint {
 	cfg.fill()
+	// The incast workload's round bookkeeping (workload.Incast.pending,
+	// RoundsDone) is updated from every sender's OnDrain callback; under
+	// sharded execution those fire on different shard goroutines. The
+	// topology would decompose, the workload does not — force the
+	// sequential engine, so a -shards run of fig12/fig15 is trivially
+	// byte-identical to the sequential one.
+	cfg.Shards = 0
 	e, senders, recv, bott := Star(cfg.TopoConfig, cfg.Senders, cfg.Rate, cfg.BufBytes)
 	in := workload.NewIncast(workload.IncastConfig{
 		Dialer: e.Dialer, Senders: senders, Receiver: recv,
@@ -84,7 +91,7 @@ func Incast(cfg IncastConfig) IncastPoint {
 	settle := 5 * sim.Millisecond
 	in.Start(settle)
 	// Run until all rounds complete or the cap hits.
-	for e.Sim.Now() < cfg.MaxDuration && in.RoundsDone < cfg.Rounds && e.Sim.Pending() > 0 {
+	for e.Sim.Now() < cfg.MaxDuration && in.RoundsDone < cfg.Rounds && e.Sim.Live() > 0 {
 		e.Sim.RunUntil(e.Sim.Now() + 10*sim.Millisecond)
 	}
 	qs.Stop()

@@ -69,6 +69,12 @@ func (r *BenchmarkResult) SimEvents() uint64 { return r.Events }
 // Benchmark runs the workload for one protocol.
 func Benchmark(cfg BenchmarkConfig) *BenchmarkResult {
 	cfg.fill()
+	// The benchmark workload's flow bookkeeping (completion counts, FCT
+	// records) is updated from OnComplete callbacks that fire on the
+	// sender's shard; with hosts spread over shards those writes would
+	// race. Force the sequential engine (see IncastConfig for the same
+	// constraint).
+	cfg.Shards = 0
 	var e *Env
 	if cfg.Racks > 0 {
 		e = LeafSpine(cfg.TopoConfig, cfg.Racks, cfg.PerRack, cfg.BufBytes)
@@ -83,7 +89,7 @@ func Benchmark(cfg BenchmarkConfig) *BenchmarkResult {
 		BgFlowRate: cfg.BgFlowRate,
 	})
 	b.Start()
-	for e.Sim.Now() < cfg.MaxDuration && e.Sim.Pending() > 0 {
+	for e.Sim.Now() < cfg.MaxDuration && e.Sim.Live() > 0 {
 		e.Sim.RunUntil(e.Sim.Now() + 50*sim.Millisecond)
 		if e.Sim.Now() >= cfg.Duration && b.DoneFraction() >= 1 {
 			break

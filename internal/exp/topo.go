@@ -7,6 +7,7 @@ package exp
 
 import (
 	"fmt"
+	"runtime"
 
 	"tfcsim/internal/core"
 	"tfcsim/internal/netsim"
@@ -58,6 +59,28 @@ type Env struct {
 	// claims that inspect token-bucket internals).
 	TFCState map[*netsim.Switch]*core.SwitchState
 	Dialer   *workload.Dialer
+
+	// plan[node] is the node's natural partition group, recorded by the
+	// topology builder via place: the maximal decomposition the topology
+	// supports (one group per leaf subtree, pod, rack, ...). finish folds
+	// groups onto the requested shard count round-robin. Builders that
+	// never call place have no parallel decomposition and run
+	// sequentially regardless of TopoConfig.Shards.
+	plan       map[netsim.NodeID]int
+	planGroups int
+}
+
+// place records the natural partition group for nodes (see Env.plan).
+func (e *Env) place(group int, nodes ...netsim.Node) {
+	if e.plan == nil {
+		e.plan = make(map[netsim.NodeID]int)
+	}
+	for _, n := range nodes {
+		e.plan[n.ID()] = group
+	}
+	if group+1 > e.planGroups {
+		e.planGroups = group + 1
+	}
 }
 
 // TopoConfig carries the knobs shared by all topology builders.
@@ -65,6 +88,18 @@ type TopoConfig struct {
 	Proto Proto
 	// Seed for the deterministic RNG.
 	Seed int64
+	// Shards selects the execution engine. 0 or 1 (the default) runs the
+	// classic sequential simulator. >= 2 partitions the topology into up
+	// to that many shards driven in parallel by the conservative engine
+	// (sim.Group, DESIGN.md §10); -1 means "auto": as many shards as the
+	// topology naturally decomposes into, capped at GOMAXPROCS. The
+	// shard count is clamped to the builder's natural decomposition
+	// (e.g. one group per Testbed leaf subtree or fat-tree pod), and the
+	// output is byte-identical at every setting. Builders without a
+	// parallel decomposition (MultiBottleneck) and workloads whose
+	// bookkeeping is shared across sender shards (Incast, Benchmark)
+	// ignore the knob and stay sequential.
+	Shards int
 	// HostJitter is the max uniform host processing delay (default 10us;
 	// real hosts have it, and TFC's rtt_b min-filter relies on it, §4.5).
 	HostJitter sim.Time
@@ -160,6 +195,7 @@ func (e *Env) newSwitch(name string) *netsim.Switch {
 // registering a transport is all it takes to run it on any topology.
 func (e *Env) finish(cfg *TopoConfig, markRate netsim.Rate) {
 	e.Net.ComputeRoutes()
+	e.partition(cfg)
 	telemetry.InstrumentNetwork(cfg.Telemetry, e.Net)
 	f, err := transport.Lookup(string(cfg.Proto))
 	if err != nil {
@@ -179,6 +215,37 @@ func (e *Env) finish(cfg *TopoConfig, markRate netsim.Rate) {
 	telemetry.RegisterTransportGauges(cfg.Telemetry, e.Attach, e.Switches)
 }
 
+// partition folds the builder's placement plan onto cfg.Shards shards and
+// splits the network. It runs between route computation and transport
+// attachment: attachments and dialed connections bind to node simulators,
+// which must already be the shard simulators by then.
+func (e *Env) partition(cfg *TopoConfig) {
+	n := cfg.Shards
+	if n == 0 || n == 1 || e.planGroups < 2 {
+		return
+	}
+	if n < 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if n > e.planGroups {
+		n = e.planGroups
+	}
+	if n < 2 {
+		return
+	}
+	assign := make([]int, len(e.Hosts)+len(e.Switches))
+	for id := range assign {
+		g, ok := e.plan[netsim.NodeID(id)]
+		if !ok {
+			panic(fmt.Sprintf("exp: node %d has no shard placement", id))
+		}
+		assign[id] = g % n
+	}
+	if err := e.Net.Partition(assign, n); err != nil {
+		panic(fmt.Sprintf("exp: %v", err))
+	}
+}
+
 // Testbed paper parameters (§6.1.1): 256 KB per port, 1 Gbps.
 const (
 	TestbedBuf  = 256 << 10
@@ -191,15 +258,20 @@ const (
 func Testbed(cfg TopoConfig) *Env {
 	e := newEnv(&cfg)
 	nf0 := e.newSwitch("NF0")
+	// Natural decomposition for sharded runs: one group per leaf subtree
+	// (leaf switch plus its hosts), the core riding with the first.
+	e.place(0, nf0)
 	link := netsim.LinkConfig{
 		Rate: TestbedRate, Delay: 5 * sim.Microsecond,
 		BufA: TestbedBuf, BufB: TestbedBuf,
 	}
 	for l := 1; l <= 3; l++ {
 		leaf := e.newSwitch("NF" + string(rune('0'+l)))
+		e.place(l-1, leaf)
 		e.Net.Connect(leaf, nf0, link)
 		for j := 0; j < 3; j++ {
 			h := e.newHost("H", cfg.HostJitter)
+			e.place(l-1, h)
 			// Host NICs are not buffer-limited (senders are window-limited).
 			e.Net.Connect(h, leaf, netsim.LinkConfig{
 				Rate: TestbedRate, Delay: 5 * sim.Microsecond, BufB: TestbedBuf,
@@ -215,14 +287,20 @@ func Testbed(cfg TopoConfig) *Env {
 func Star(cfg TopoConfig, n int, rate netsim.Rate, buf int) (*Env, []*netsim.Host, *netsim.Host, *netsim.Port) {
 	e := newEnv(&cfg)
 	sw := e.newSwitch("sw")
+	// Natural decomposition: the switch and receiver anchor group 0,
+	// every sender host is its own group (folded round-robin on the
+	// requested shard count).
+	e.place(0, sw)
 	link := netsim.LinkConfig{Rate: rate, Delay: 5 * sim.Microsecond, BufA: buf, BufB: buf}
 	var senders []*netsim.Host
 	for i := 0; i < n; i++ {
 		h := e.newHost("s", cfg.HostJitter)
+		e.place(1+i, h)
 		e.Net.Connect(h, sw, link)
 		senders = append(senders, h)
 	}
 	recv := e.newHost("recv", cfg.HostJitter)
+	e.place(0, recv)
 	e.Net.Connect(sw, recv, netsim.LinkConfig{
 		Rate: rate, Delay: 5 * sim.Microsecond, BufA: buf,
 	})
@@ -274,14 +352,18 @@ func MultiBottleneck(cfg TopoConfig) *MultiBottleneckEnv {
 func LeafSpine(cfg TopoConfig, racks, perRack int, buf int) *Env {
 	e := newEnv(&cfg)
 	spine := e.newSwitch("spine")
+	// Natural decomposition: one group per rack, the spine with rack 0.
+	e.place(0, spine)
 	for r := 0; r < racks; r++ {
 		leaf := e.newSwitch("leaf")
+		e.place(r, leaf)
 		e.Net.Connect(leaf, spine, netsim.LinkConfig{
 			Rate: 10 * netsim.Gbps, Delay: 20 * sim.Microsecond,
 			BufA: buf, BufB: buf,
 		})
 		for j := 0; j < perRack; j++ {
 			h := e.newHost("h", cfg.HostJitter)
+			e.place(r, h)
 			e.Net.Connect(h, leaf, netsim.LinkConfig{
 				Rate: netsim.Gbps, Delay: 20 * sim.Microsecond, BufB: buf,
 			})

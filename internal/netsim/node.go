@@ -2,6 +2,7 @@ package netsim
 
 import (
 	"fmt"
+	"math/rand"
 
 	"tfcsim/internal/sim"
 )
@@ -15,7 +16,12 @@ type Node interface {
 	Receive(pkt *Packet, from *Port)
 	// Ports returns the node's transmit ports in creation order.
 	Ports() []*Port
+	// Sim returns the simulator driving this node: the network's
+	// simulator, or the node's shard simulator once partitioned. All of a
+	// node's events (and its transports') must be scheduled through it.
+	Sim() *sim.Simulator
 	addPort(p *Port)
+	setShard(sh *netShard)
 }
 
 type nodeBase struct {
@@ -23,12 +29,15 @@ type nodeBase struct {
 	name  string
 	ports []*Port
 	net   *Network
+	sh    *netShard
 }
 
-func (n *nodeBase) ID() NodeID      { return n.id }
-func (n *nodeBase) Name() string    { return n.name }
-func (n *nodeBase) Ports() []*Port  { return n.ports }
-func (n *nodeBase) addPort(p *Port) { n.ports = append(n.ports, p) }
+func (n *nodeBase) ID() NodeID            { return n.id }
+func (n *nodeBase) Name() string          { return n.name }
+func (n *nodeBase) Ports() []*Port        { return n.ports }
+func (n *nodeBase) Sim() *sim.Simulator   { return n.sh.sim }
+func (n *nodeBase) addPort(p *Port)       { n.ports = append(n.ports, p) }
+func (n *nodeBase) setShard(sh *netShard) { n.sh = sh }
 
 // Interceptor lets a scheme take over forwarding of selected packets at a
 // switch. TFC uses this for its ACK delay arbiter (paper §4.6): RMA ACKs
@@ -64,7 +73,7 @@ func (sw *Switch) Receive(pkt *Packet, from *Port) {
 	out := sw.routeFor(pkt.Flow, pkt.Dst)
 	if out == nil {
 		sw.Unroutable++
-		sw.net.ReleasePacket(pkt)
+		sw.sh.release(pkt)
 		return
 	}
 	if sw.Interceptor != nil && sw.Interceptor.Intercept(pkt, out, sw) {
@@ -147,6 +156,11 @@ type Host struct {
 	// observe the queueing-free RTT (paper §4.5 discusses exactly this).
 	ProcJitter sim.Time
 	procFree   sim.Time
+	// jrand is the host's private jitter stream (see jitterRand): draws
+	// depend only on this host's send sequence, never on how sends from
+	// different hosts interleave, so sequential and sharded runs see the
+	// same jitter.
+	jrand *rand.Rand
 
 	// Pause state (fault injection): while paused the host's delivery
 	// path stalls and arrivals are buffered in order, modelling a host
@@ -163,10 +177,10 @@ func (h *Host) NIC() *Port {
 	return h.ports[0]
 }
 
-// NewPacket returns a zeroed packet from the network's pool (see
+// NewPacket returns a zeroed packet from the host's shard pool (see
 // Network.NewPacket). Transport endpoints attached to this host allocate
 // their packets through it.
-func (h *Host) NewPacket() *Packet { return h.net.NewPacket() }
+func (h *Host) NewPacket() *Packet { return h.sh.newPacket() }
 
 // Network returns the network this host is attached to.
 func (h *Host) Network() *Network { return h.net }
@@ -178,16 +192,16 @@ func (h *Host) Network() *Network { return h.net }
 // window-limited senders pay a fresh random delay per packet — the
 // variance TFC's switch-side rtt_b min-filter depends on (paper §4.5).
 func (h *Host) Send(pkt *Packet) {
-	h.net.trace(TraceHostSend, h.name, pkt)
-	s := h.net.Sim
+	s := h.sh.sim
 	at := s.Now()
+	h.net.trace(TraceHostSend, at, h.name, pkt)
 	nic := h.NIC()
 	if h.ProcJitter > 0 && h.procFree <= at && !nic.Busy() && nic.QueueLen() == 0 {
 		// Capped exponential: mostly-small delays with occasional spikes
 		// up to ProcJitter (interrupt-coalescing-like), so the mean RTT
 		// inflation stays low while the variance the rtt_b min-filter
 		// needs is preserved.
-		j := sim.Time(s.Rand.ExpFloat64() * float64(h.ProcJitter) / 4)
+		j := sim.Time(h.jitterRand().ExpFloat64() * float64(h.ProcJitter) / 4)
 		if j > h.ProcJitter {
 			j = h.ProcJitter
 		}
@@ -201,7 +215,7 @@ func (h *Host) Send(pkt *Packet) {
 		nic.Enqueue(pkt)
 		return
 	}
-	s.Schedule(at, h.net.newHostSend(nic, pkt))
+	s.Schedule(at, h.sh.newHostSend(nic, pkt))
 }
 
 // Register binds an endpoint to a flow ID.
@@ -266,23 +280,20 @@ func (h *Host) deliver(pkt *Packet) {
 			}
 			if ep == nil {
 				h.Stray++
-				h.net.trace(TraceStray, h.name, pkt)
-				h.net.ReleasePacket(pkt)
+				h.net.trace(TraceStray, h.sh.sim.Now(), h.name, pkt)
+				h.sh.release(pkt)
 				return
 			}
 		}
 		h.cachedFlow, h.cachedEp = pkt.Flow, ep
 	}
-	h.net.trace(TraceDeliver, h.name, pkt)
+	h.net.trace(TraceDeliver, h.sh.sim.Now(), h.name, pkt)
 	ep.Deliver(pkt)
 	// Delivery is the packet's release point: Deliver must consume the
 	// packet synchronously (every in-tree endpoint does), so ownership
-	// returns to the network's pool here.
-	h.net.ReleasePacket(pkt)
+	// returns to the host's shard pool here.
+	h.sh.release(pkt)
 }
-
-// Sim returns the simulator driving this host's network.
-func (h *Host) Sim() *sim.Simulator { return h.net.Sim }
 
 // TraceEvent classifies a packet lifecycle notification.
 type TraceEvent uint8
@@ -335,14 +346,22 @@ type Probe interface {
 
 // Network is a collection of nodes plus the shared simulator and routing.
 type Network struct {
+	// Sim is the control simulator: experiments schedule their workload
+	// arrivals, samplers, and fault events through it. For a sequential
+	// network it also drives every entity; Partition rebinds entities to
+	// per-shard simulators and Sim becomes the sim.Group control.
 	Sim    *sim.Simulator
 	nodes  []Node
 	nextID NodeID
 	// Trace, when set, receives every packet lifecycle event (tcpdump-like
-	// observability; adds one nil-check per event when unset).
+	// observability; adds one nil-check per event when unset). The trace
+	// callback runs on shard goroutines in a partitioned network — only
+	// use it on sequential runs.
 	Trace func(ev TraceEvent, at sim.Time, where string, pkt *Packet)
 	// Probe, when set, receives forwarding-path telemetry events. Like
-	// Trace, the disabled path is one nil-check per event.
+	// Trace, the disabled path is one nil-check per event. In a
+	// partitioned network probe callbacks run concurrently on shard
+	// goroutines; the telemetry layer serializes internally.
 	Probe Probe
 
 	// PoolPackets opts this network into packet recycling: NewPacket draws
@@ -353,9 +372,13 @@ type Network struct {
 	// default: packets are then ordinary garbage-collected allocations and
 	// ReleasePacket is a no-op.
 	PoolPackets bool
-	pktFree     []*Packet
 
-	evFree []*portEvent // deferred host-send event pool (always on)
+	// shards hold the per-shard execution contexts (simulator + pools);
+	// exactly one, driven by Sim, until Partition splits the network.
+	shards   []*netShard
+	group    *sim.Group
+	baseSeed int64
+	portSeq  uint64 // port creation counter: stable per-port identity
 }
 
 // pktSlab is the packet-pool growth quantum: a pool miss allocates one
@@ -364,35 +387,18 @@ type Network struct {
 // each.
 const pktSlab = 64
 
-func (n *Network) trace(ev TraceEvent, where string, pkt *Packet) {
+func (n *Network) trace(ev TraceEvent, at sim.Time, where string, pkt *Packet) {
 	if n.Trace != nil {
-		n.Trace(ev, n.Sim.Now(), where, pkt)
+		n.Trace(ev, at, where, pkt)
 	}
 }
 
-// NewPacket returns a zeroed packet, recycled from the network's free list
-// when PoolPackets is set. Transports allocate through this (or the
-// Host.NewPacket convenience) so that steady-state forwarding allocates
-// nothing once the pool has warmed up.
-func (n *Network) NewPacket() *Packet {
-	if k := len(n.pktFree) - 1; k >= 0 {
-		p := n.pktFree[k]
-		n.pktFree[k] = nil
-		n.pktFree = n.pktFree[:k]
-		return p
-	}
-	if n.PoolPackets {
-		// Pool miss: grow by a slab. Packets contain no pointers, so the
-		// slab is GC-opaque, and handing out slab elements is safe — the
-		// pool never frees, it only recycles.
-		slab := make([]Packet, pktSlab)
-		for i := 1; i < pktSlab; i++ {
-			n.pktFree = append(n.pktFree, &slab[i])
-		}
-		return &slab[0]
-	}
-	return &Packet{}
-}
+// NewPacket returns a zeroed packet, recycled from a free list when
+// PoolPackets is set. Transports allocate through Host.NewPacket (or
+// Port.NewPacket from switch-side hooks) so the packet comes from — and
+// later returns to — the pool of the shard doing the work; this method
+// serves shard 0 for sequential callers (tests, benchmarks).
+func (n *Network) NewPacket() *Packet { return n.shards[0].newPacket() }
 
 // Warm pre-sizes the network for an allocation-free run: with pooling on,
 // the packet pool grows to at least packets spare packets, the deferred
@@ -401,16 +407,18 @@ func (n *Network) NewPacket() *Packet {
 // sim.Warm) so the measured steady state performs no allocation at all;
 // cold networks grow on demand instead.
 func (n *Network) Warm(packets, ringCap int) {
-	if n.PoolPackets {
-		for len(n.pktFree) < packets {
-			slab := make([]Packet, pktSlab)
-			for i := range slab {
-				n.pktFree = append(n.pktFree, &slab[i])
+	for _, sh := range n.shards {
+		if n.PoolPackets {
+			for len(sh.pktFree) < packets {
+				slab := make([]Packet, pktSlab)
+				for i := range slab {
+					sh.pktFree = append(sh.pktFree, &slab[i])
+				}
 			}
 		}
-	}
-	for len(n.evFree) < 64 {
-		n.evFree = append(n.evFree, &portEvent{})
+		for len(sh.evFree) < 64 {
+			sh.evFree = append(sh.evFree, &portEvent{})
+		}
 	}
 	for _, node := range n.nodes {
 		for _, p := range node.Ports() {
@@ -424,17 +432,12 @@ func (n *Network) Warm(packets, ringCap int) {
 	}
 }
 
-// ReleasePacket returns a packet to the pool. The forwarding path calls it
-// wherever a packet's ownership ends; it is exported for code that takes
-// ownership via an Interceptor and then discards the packet. No-op unless
-// PoolPackets is set.
-func (n *Network) ReleasePacket(p *Packet) {
-	if !n.PoolPackets || p == nil {
-		return
-	}
-	*p = Packet{}
-	n.pktFree = append(n.pktFree, p)
-}
+// ReleasePacket returns a packet to shard 0's pool. The forwarding path
+// releases through shard-local pools instead; this sequential-context
+// method serves code that takes ownership via an Interceptor and then
+// discards the packet (interceptors run on the switch's shard — use
+// Port.ReleasePacket there). No-op unless PoolPackets is set.
+func (n *Network) ReleasePacket(p *Packet) { n.shards[0].release(p) }
 
 // portEvent is the pooled sim.EventTarget for the one forwarding-path
 // event that still needs a per-packet carrier: a host send deferred by
@@ -446,31 +449,21 @@ type portEvent struct {
 	pkt  *Packet
 }
 
-func (n *Network) newHostSend(port *Port, pkt *Packet) *portEvent {
-	var e *portEvent
-	if k := len(n.evFree) - 1; k >= 0 {
-		e = n.evFree[k]
-		n.evFree[k] = nil
-		n.evFree = n.evFree[:k]
-	} else {
-		e = &portEvent{}
-	}
-	e.port, e.pkt = port, pkt
-	return e
-}
-
 // RunEvent implements sim.EventTarget. The event frees itself before
-// acting so the callback chain can immediately reuse it.
+// acting so the callback chain can immediately reuse it. It runs — and
+// recycles — on the port's shard, where it was allocated.
 func (e *portEvent) RunEvent() {
 	p, pkt := e.port, e.pkt
 	e.port, e.pkt = nil, nil
-	p.net.evFree = append(p.net.evFree, e)
+	p.sh.evFree = append(p.sh.evFree, e)
 	p.Enqueue(pkt)
 }
 
 // NewNetwork creates an empty network on the given simulator.
 func NewNetwork(s *sim.Simulator) *Network {
-	return &Network{Sim: s}
+	n := &Network{Sim: s, baseSeed: s.Seed()}
+	n.shards = []*netShard{{id: 0, sim: s, net: n}}
+	return n
 }
 
 // Nodes returns all nodes in creation order.
@@ -479,7 +472,7 @@ func (n *Network) Nodes() []Node { return n.nodes }
 // NewHost adds a host.
 func (n *Network) NewHost(name string) *Host {
 	h := &Host{
-		nodeBase:  nodeBase{id: n.nextID, name: name, net: n},
+		nodeBase:  nodeBase{id: n.nextID, name: name, net: n, sh: n.shards[0]},
 		endpoints: make(map[FlowID]Endpoint),
 	}
 	n.nextID++
@@ -490,7 +483,7 @@ func (n *Network) NewHost(name string) *Host {
 // NewSwitch adds a switch.
 func (n *Network) NewSwitch(name string) *Switch {
 	sw := &Switch{
-		nodeBase: nodeBase{id: n.nextID, name: name, net: n},
+		nodeBase: nodeBase{id: n.nextID, name: name, net: n, sh: n.shards[0]},
 		routes:   make(map[NodeID][]*Port),
 	}
 	n.nextID++
@@ -513,14 +506,17 @@ type LinkConfig struct {
 func (n *Network) Connect(a, b Node, cfg LinkConfig) (ab, ba *Port) {
 	ab = &Port{
 		sim: n.Sim, net: n, Owner: a, Peer: b, Rate: cfg.Rate, Delay: cfg.Delay,
-		BufBytes: cfg.BufA,
-		Label:    fmt.Sprintf("%s->%s", a.Name(), b.Name()),
+		BufBytes: cfg.BufA, idx: n.portSeq,
+		Label: fmt.Sprintf("%s->%s", a.Name(), b.Name()),
 	}
 	ba = &Port{
 		sim: n.Sim, net: n, Owner: b, Peer: a, Rate: cfg.Rate, Delay: cfg.Delay,
-		BufBytes: cfg.BufB,
-		Label:    fmt.Sprintf("%s->%s", b.Name(), a.Name()),
+		BufBytes: cfg.BufB, idx: n.portSeq + 1,
+		Label: fmt.Sprintf("%s->%s", b.Name(), a.Name()),
 	}
+	n.portSeq += 2
+	ab.sh, ab.peerSh = n.shards[0], n.shards[0]
+	ba.sh, ba.peerSh = n.shards[0], n.shards[0]
 	ab.txEv.p, ab.rxEv.p = ab, ab
 	ba.txEv.p, ba.rxEv.p = ba, ba
 	a.addPort(ab)

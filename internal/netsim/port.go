@@ -42,6 +42,20 @@ type Port struct {
 	Peer  Node // node at the far end of the link
 	Label string
 
+	// Sharding state (see shard.go). sh is the owner's shard — the
+	// goroutine all of this port's events run on; peerSh is the receiving
+	// side's. cross marks a shard-boundary link: deliveries then travel
+	// through the group mailbox instead of the port-resident rxEv. idx is
+	// the port's creation index, the stable identity its loss stream and
+	// its delivery rank (the canonical order of simultaneous arrivals at
+	// a node, identical in the sequential and sharded engines) are
+	// derived from.
+	sh     *netShard
+	peerSh *netShard
+	cross  bool
+	idx    uint64
+	lrand  *rand.Rand
+
 	Rate  Rate
 	Delay sim.Time // propagation delay
 	// BufBytes is the queue capacity in frame bytes; 0 means unlimited.
@@ -162,9 +176,31 @@ func (p *Port) SetRate(r Rate) {
 	}
 }
 
-// Network returns the network the port belongs to (interceptors use it to
-// release packets they took ownership of and then discard).
+// Network returns the network the port belongs to.
 func (p *Port) Network() *Network { return p.net }
+
+// Sim returns the simulator driving this port — the owner node's shard
+// simulator. Hooks and interceptors attached at the port's switch must
+// schedule and read time through it.
+func (p *Port) Sim() *sim.Simulator { return p.sim }
+
+// rank is the port's delivery rank: deliveries that reach their
+// destinations at the same virtual instant execute in port-creation
+// order, the same canonical arbitration in the sequential and sharded
+// engines (see sim.ScheduleAfterRank). Real switches arbitrate
+// simultaneous arrivals deterministically too; this just fixes which
+// deterministic order the simulation means.
+func (p *Port) rank() int32 { return int32(p.idx) }
+
+// NewPacket returns a zeroed packet from the port's shard pool. Switch-
+// side logic that originates packets (e.g. BFC's pause frames) allocates
+// through the port so the packet's pool is the shard doing the work.
+func (p *Port) NewPacket() *Packet { return p.sh.newPacket() }
+
+// ReleasePacket returns a packet to the port's shard pool. Interceptors
+// and hooks that took ownership of a packet and then discard it release
+// it here. No-op unless PoolPackets is set.
+func (p *Port) ReleasePacket(pkt *Packet) { p.sh.release(pkt) }
 
 func (p *Port) pushQ(pkt *Packet) {
 	if p.qLen == len(p.q) {
@@ -206,11 +242,11 @@ func (p *Port) growQ2(n int) {
 func (p *Port) drop(pkt *Packet) {
 	p.Drops++
 	p.DropBytes += int64(pkt.FrameBytes())
-	p.net.trace(TraceDrop, p.Label, pkt)
+	p.net.trace(TraceDrop, p.sim.Now(), p.Label, pkt)
 	if p.net.Probe != nil {
 		p.net.Probe.PortDrop(p, pkt)
 	}
-	p.net.ReleasePacket(pkt)
+	p.sh.release(pkt)
 }
 
 // Enqueue admits a packet to the port. Wire-level failure injection (link
@@ -227,11 +263,11 @@ func (p *Port) Enqueue(pkt *Packet) {
 		return
 	}
 	if p.LossModel != nil {
-		if p.LossModel.Lose(p.sim.Rand) {
+		if p.LossModel.Lose(p.lossRand()) {
 			p.drop(pkt)
 			return
 		}
-	} else if p.LossRate > 0 && p.sim.Rand.Float64() < p.LossRate {
+	} else if p.LossRate > 0 && p.lossRand().Float64() < p.LossRate {
 		p.drop(pkt)
 		return
 	}
@@ -244,7 +280,7 @@ func (p *Port) Enqueue(pkt *Packet) {
 		p.drop(pkt)
 		return
 	}
-	p.net.trace(TraceEnqueue, p.Label, pkt)
+	p.net.trace(TraceEnqueue, p.sim.Now(), p.Label, pkt)
 	p.pushQ(pkt)
 	p.qBytes += fb
 	if p.qBytes > p.MaxQueue {
@@ -277,7 +313,8 @@ func (e *txEvent) RunEvent() {
 // rxEvent is the port-resident delivery event: it hands the oldest
 // in-flight frame to the peer. All of a port's deliveries share the fixed
 // propagation Delay and are scheduled in serialization order, so the
-// (time, seq) dispatch order matches the inFl ring's FIFO order exactly.
+// (time, rank, seq) dispatch order matches the inFl ring's FIFO order
+// exactly (a port's deliveries all carry its own rank).
 type rxEvent struct {
 	p *Port
 }
@@ -354,10 +391,30 @@ func (p *Port) finishTx(pkt *Packet) {
 	}
 	p.TxPackets++
 	p.TxFrames += int64(pkt.FrameBytes())
-	p.net.trace(TraceTx, p.Label, pkt)
+	now := p.sim.Now()
+	p.net.trace(TraceTx, now, p.Label, pkt)
 	pkt.Hops++
-	p.pushInFlight(pkt)
-	p.sim.ScheduleAfter(p.Delay, &p.rxEv)
+	if p.cross {
+		// Shard-boundary link: hand the delivery to the group mailbox.
+		// The conservative window guarantees now+Delay is at or past the
+		// next epoch boundary, so the event reaches the peer's shard in
+		// time; (deadline, now, rank) ordering reproduces the sequential
+		// insertion order, including per-port delivery FIFO.
+		sh := p.sh
+		var e *crossRxEvent
+		if k := len(sh.xFree) - 1; k >= 0 {
+			e = sh.xFree[k]
+			sh.xFree[k] = nil
+			sh.xFree = sh.xFree[:k]
+		} else {
+			e = &crossRxEvent{}
+		}
+		e.p, e.pkt = p, pkt
+		p.net.group.Post(sh.id, p.peerSh.id, now+p.Delay, now, p.rank(), e)
+	} else {
+		p.pushInFlight(pkt)
+		p.sim.ScheduleAfterRank(p.Delay, &p.rxEv, p.rank())
+	}
 	if p.qLen > 0 {
 		p.startTx()
 	} else {

@@ -84,14 +84,36 @@ type EventTarget interface {
 // entry is popped; Timer handles reference them together with the
 // generation captured at scheduling time.
 type timerNode struct {
-	at      Time
+	at Time
+	// schedAt is the virtual time at which the node was scheduled. For
+	// nodes scheduled by the owning simulator it equals now-at-schedule, so
+	// ordering by (at, schedAt, rank, seq) is identical to (at, rank, seq)
+	// — seq is monotone in schedule time. The sharded engine stamps
+	// mailbox events with the sender shard's schedule instant instead,
+	// which restores the sequential engine's insertion order for
+	// cross-shard arrivals.
+	schedAt Time
 	seq     uint64
 	gen     uint64
 	fn      func()
 	target  EventTarget
-	index   int32 // heap index; laneIndex while queued in a lane, -1 once popped
+	owner   *Simulator // for live-count accounting on Timer.Stop
+	index   int32      // heap index; laneIndex while queued in a lane, -1 once popped
+	// rank canonically orders events that collide on both at and schedAt:
+	// smaller rank runs first, NeutralRank (-1) before any ranked event,
+	// equal ranks by seq. Callers whose same-instant emissions must
+	// execute in an engine-independent order (link deliveries, ranked by
+	// the receiving port) schedule through ScheduleAfterRank; everything
+	// else stays neutral and keeps the historic insertion order.
+	rank    int32
 	stopped bool
 }
+
+// NeutralRank is the rank of events scheduled without an explicit rank.
+// Neutral events order before ranked ones at the same (at, schedAt) and
+// among themselves by insertion sequence, preserving the engine's
+// historic tie-break wherever ranks are not in play.
+const NeutralRank int32 = -1
 
 // laneIndex marks a node queued in a fixed-delay lane rather than the
 // heap. It is distinct from -1 (popped) so Timer.Stop/Active treat lane
@@ -118,6 +140,7 @@ func (t Timer) Stop() bool {
 		return false
 	}
 	n.stopped = true
+	n.owner.live--
 	return true
 }
 
@@ -127,15 +150,17 @@ func (t Timer) Active() bool {
 	return n != nil && n.gen == t.gen && !n.stopped && n.index != -1
 }
 
-// When returns the virtual time at which the timer fires. Once the timer
-// has fired or been collected the handle is stale and When returns 0;
-// callers that need the deadline of a possibly-fired timer should check
-// Active first.
-func (t Timer) When() Time {
-	if t.n == nil || t.n.gen != t.gen {
-		return 0
+// When returns the virtual time at which the timer fires and whether the
+// handle is still pending. ok is false exactly when Active is false — a
+// stale handle (the event fired or its cancelled node was collected), a
+// stopped timer, or the zero Timer — so a genuine t=0 deadline is
+// distinguishable from staleness. When ok is false the returned Time is 0
+// and meaningless.
+func (t Timer) When() (Time, bool) {
+	if !t.Active() {
+		return 0, false
 	}
-	return t.n.at
+	return t.n.at, true
 }
 
 // maxLanes bounds the number of fixed-delay lanes. The hot event classes
@@ -163,7 +188,21 @@ func (l *lane) push(n *timerNode) {
 		}
 		l.growTo(c)
 	}
-	l.ring[(l.head+l.n)&(len(l.ring)-1)] = n
+	mask := len(l.ring) - 1
+	// Keep the ring in (at, rank, seq) order. Pushes arrive in
+	// non-decreasing at (fixed delay, monotone clock) with equal schedAt
+	// for equal at, so only a same-instant tail run can be out of rank
+	// order; the backward scan almost always breaks on its first compare.
+	i := l.n
+	for i > 0 {
+		prev := l.ring[(l.head+i-1)&mask]
+		if prev.at != n.at || prev.rank <= n.rank {
+			break
+		}
+		l.ring[(l.head+i)&mask] = prev
+		i--
+	}
+	l.ring[(l.head+i)&mask] = n
 	l.n++
 }
 
@@ -200,12 +239,26 @@ type Simulator struct {
 	free     []*timerNode // recycled nodes
 	seq      uint64
 	stopped  bool
+	// live counts pending events that have not been cancelled. Pending()
+	// also includes stopped-but-uncollected nodes; the RunUntil tail
+	// advance must not — a queue holding only dead timers does not make
+	// virtual time pass.
+	live int
 	// disableLanes forces every event through the heap. Test hook for the
 	// lane/heap equivalence and fuzz harnesses; never set in production.
 	disableLanes bool
+	// group, when non-nil, marks this simulator as the control member of a
+	// sharded Group: Run/RunUntil delegate to the group's epoch loop and
+	// Pending/Executed aggregate across the shards.
+	group *Group
+	// noSchedule is set by the group around the parallel phase of an
+	// epoch: scheduling into the control simulator from a shard callback
+	// is a cross-shard race, and this turns it into a deterministic panic.
+	noSchedule bool
 	// Rand is the experiment-scoped random source. It is seeded at
 	// construction so runs are reproducible.
 	Rand *rand.Rand
+	seed int64
 	// executed counts events run so far (useful for budget guards in tests).
 	executed uint64
 }
@@ -214,15 +267,38 @@ type Simulator struct {
 func New(seed int64) *Simulator {
 	return &Simulator{
 		Rand:  rand.New(rand.NewSource(seed)),
+		seed:  seed,
 		lanes: make([]lane, 0, maxLanes),
 	}
+}
+
+// Seed returns the seed the simulator was constructed with. Entities that
+// need their own random stream (per-host jitter, per-port loss) derive it
+// from this via SubSeed so their draws are independent of event
+// interleaving — a prerequisite for sharded execution matching the
+// sequential engine bit-for-bit.
+func (s *Simulator) Seed() int64 { return s.seed }
+
+// SubSeed derives an independent stream seed from a trial seed and a
+// stable entity identifier (SplitMix64 finalizer).
+func SubSeed(seed int64, salt uint64) int64 {
+	z := uint64(seed) + (salt+1)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
 }
 
 // Now returns the current virtual time.
 func (s *Simulator) Now() Time { return s.now }
 
-// Executed returns the number of events executed so far.
-func (s *Simulator) Executed() uint64 { return s.executed }
+// Executed returns the number of events executed so far; for the control
+// simulator of a sharded Group it aggregates across every shard.
+func (s *Simulator) Executed() uint64 {
+	if s.group != nil {
+		return s.group.executed()
+	}
+	return s.executed
+}
 
 // At schedules fn at absolute virtual time t. Scheduling in the past (or at
 // the present) runs the event at the current time but after all events
@@ -248,6 +324,38 @@ func (s *Simulator) Schedule(t Time, tgt EventTarget) Timer {
 // deadlines take the lane fast path when a lane for d exists or is free.
 func (s *Simulator) ScheduleAfter(d Time, tgt EventTarget) Timer {
 	return s.scheduleRel(d, nil, tgt)
+}
+
+// ScheduleAfterRank is ScheduleAfter with an explicit arrival rank
+// (>= 0): among events colliding on both deadline and schedule instant,
+// smaller ranks run first, after all neutral events. Rank must be a
+// stable property of the scheduling entity (netsim uses the transmitting
+// port's creation index), so that simultaneous arrivals execute in the
+// same canonical order in the sequential and the sharded engine.
+func (s *Simulator) ScheduleAfterRank(d Time, tgt EventTarget, rank int32) Timer {
+	if d < 0 || s.disableLanes {
+		return s.scheduleRank(s.now+d, tgt, rank)
+	}
+	l := s.laneFor(d)
+	if l == nil {
+		return s.scheduleRank(s.now+d, tgt, rank)
+	}
+	n := s.newNode(s.now+d, nil, tgt)
+	n.rank = rank
+	n.index = laneIndex
+	l.push(n)
+	return Timer{n: n, gen: n.gen}
+}
+
+// scheduleRank is the heap path of ScheduleAfterRank.
+func (s *Simulator) scheduleRank(t Time, tgt EventTarget, rank int32) Timer {
+	if t < s.now {
+		t = s.now
+	}
+	n := s.newNode(t, nil, tgt)
+	n.rank = rank
+	s.push(n)
+	return Timer{n: n, gen: n.gen}
 }
 
 // scheduleRel implements After/ScheduleAfter. A non-negative fixed delay
@@ -305,6 +413,9 @@ func (s *Simulator) laneFor(d Time) *lane {
 // newNode takes a node from the free list (or allocates one) and stamps
 // it with the next sequence number.
 func (s *Simulator) newNode(t Time, fn func(), tgt EventTarget) *timerNode {
+	if s.noSchedule {
+		panic("sim: schedule on the control simulator during a parallel shard phase (cross-shard coupling)")
+	}
 	var n *timerNode
 	if k := len(s.free) - 1; k >= 0 {
 		n = s.free[k]
@@ -314,11 +425,15 @@ func (s *Simulator) newNode(t Time, fn func(), tgt EventTarget) *timerNode {
 		n = &timerNode{}
 	}
 	n.at = t
+	n.schedAt = s.now
 	n.seq = s.seq
 	n.fn = fn
 	n.target = tgt
+	n.owner = s
+	n.rank = NeutralRank
 	n.stopped = false
 	s.seq++
+	s.live++
 	return n
 }
 
@@ -331,6 +446,17 @@ func (s *Simulator) schedule(t Time, fn func(), tgt EventTarget) Timer {
 	return Timer{n: n, gen: n.gen}
 }
 
+// scheduleMail inserts a cross-shard arrival with an explicit schedule
+// instant (the sender shard's virtual time at post) and rank. Called
+// only by the group's mail delivery at an epoch barrier, in
+// deterministic order.
+func (s *Simulator) scheduleMail(at, schedAt Time, rank int32, tgt EventTarget) {
+	n := s.newNode(at, nil, tgt)
+	n.schedAt = schedAt
+	n.rank = rank
+	s.push(n)
+}
+
 // recycle returns a popped node to the free list. Bumping the generation
 // invalidates every outstanding handle to the node before it is reused.
 func (s *Simulator) recycle(n *timerNode) {
@@ -340,9 +466,23 @@ func (s *Simulator) recycle(n *timerNode) {
 	s.free = append(s.free, n)
 }
 
+// timerLess orders nodes by (at, schedAt, rank, seq). For neutral-rank
+// nodes of one simulator this is identical to the historic (at, seq)
+// order — seq is monotone in schedule time, so schedAt can only agree
+// with it — but it lets cross-shard mailbox arrivals (whose seq is
+// assigned late, at the epoch barrier) slot into the position the
+// sequential engine would have given them, and it gives same-instant
+// ranked events (simultaneous link deliveries) a canonical order that
+// does not depend on which engine — or which shard — produced them.
 func timerLess(a, b *timerNode) bool {
 	if a.at != b.at {
 		return a.at < b.at
+	}
+	if a.schedAt != b.schedAt {
+		return a.schedAt < b.schedAt
+	}
+	if a.rank != b.rank {
+		return a.rank < b.rank
 	}
 	return a.seq < b.seq
 }
@@ -407,28 +547,67 @@ func (s *Simulator) popMin() *timerNode {
 	return top
 }
 
-// Stop makes Run/RunUntil return after the current event completes.
+// Stop makes Run/RunUntil return after the current event completes. A
+// Stop issued while no run is in progress is remembered: the next
+// Run/RunUntil consumes it and returns immediately without executing
+// anything. For the control simulator of a sharded Group, a mid-run Stop
+// takes effect at the next epoch barrier (shards finish their current
+// window first).
 func (s *Simulator) Stop() { s.stopped = true }
 
+// maxTime is the largest end Run passes to RunUntil; chosen below the
+// int64 ceiling so end+1 arithmetic cannot overflow.
+const maxTime = Time(1<<62 - 1)
+
 // Run executes events until the queue is empty or Stop is called.
-func (s *Simulator) Run() { s.RunUntil(Time(1<<62 - 1)) }
+func (s *Simulator) Run() { s.RunUntil(maxTime) }
 
 // RunUntil executes events with timestamps <= end (or until the queue
 // drains, or Stop). The contract for Now() on return:
 //
-//   - events remain past end: Now() == end (virtual time passed even
-//     though nothing fired in the tail);
+//   - live events remain past end: Now() == end (virtual time passed even
+//     though nothing fired in the tail). Cancelled-but-uncollected timers
+//     do not count: a queue holding only dead timers behaves like an
+//     empty one;
 //   - the queue drained before end: Now() stays at the last executed
 //     event — an idle simulation does not invent the passage of time, so
 //     measurements like goodput over Now() reflect actual activity;
-//   - Stop() was called: Now() stays at the stopping event.
+//   - Stop() was called before the run: nothing executes, Now() is
+//     unchanged, and the stop request is consumed;
+//   - Stop() was called mid-run: Now() stays at the stopping event, and
+//     the next Run/RunUntil resumes normally.
 func (s *Simulator) RunUntil(end Time) {
+	if g := s.group; g != nil {
+		g.runUntil(end)
+		return
+	}
+	if s.stopped {
+		// Honor a Stop issued between runs (or before the first).
+		s.stopped = false
+		return
+	}
+	stopBefore := end + 1
+	if stopBefore < end {
+		stopBefore = end // saturate: caller passed the int64 ceiling
+	}
+	s.runCore(stopBefore)
+	if s.now < end && !s.stopped && s.live > 0 {
+		s.now = end
+	}
+	// A mid-run stop is consumed here so the next run resumes.
 	s.stopped = false
+}
+
+// runCore executes events with timestamps strictly below stopBefore, or
+// until the queue drains or Stop. It never advances now past the last
+// executed event; RunUntil layers the tail-advance contract on top, and
+// the sharded group drives one window [now, stopBefore) per epoch.
+func (s *Simulator) runCore(stopBefore Time) {
 	for !s.stopped {
 		// Global minimum across the heap root and the lane heads, with the
-		// same (at, seq) tie-break the heap uses internally. Each lane is
-		// internally sorted, so its head is its minimum; the scan is over
-		// at most maxLanes+1 candidates.
+		// same (at, schedAt, seq) tie-break the heap uses internally. Each
+		// lane is internally sorted, so its head is its minimum; the scan
+		// is over at most maxLanes+1 candidates.
 		var n *timerNode
 		li := -1
 		if len(s.events) > 0 {
@@ -443,8 +622,8 @@ func (s *Simulator) RunUntil(end Time) {
 				n, li = h, i
 			}
 		}
-		if n == nil || n.at > end {
-			break
+		if n == nil || n.at >= stopBefore {
+			return
 		}
 		if li < 0 {
 			s.popMin()
@@ -455,6 +634,7 @@ func (s *Simulator) RunUntil(end Time) {
 			s.recycle(n)
 			continue
 		}
+		s.live--
 		s.now = n.at
 		s.executed++
 		// Recycle before invoking: outstanding handles are already dead
@@ -469,19 +649,124 @@ func (s *Simulator) RunUntil(end Time) {
 			fn()
 		}
 	}
-	if s.now < end && !s.stopped && s.Pending() > 0 {
-		s.now = end
+}
+
+// peekLive returns the (at, schedAt, rank) of the earliest live pending
+// event. Cancelled nodes uncovered at the front are collected on the way
+// — the same discard the dispatch loop performs — so the reported time is
+// the time of an event that will actually fire. ok is false when nothing
+// live is queued.
+func (s *Simulator) peekLive() (at, schedAt Time, rank int32, ok bool) {
+	for {
+		var n *timerNode
+		li := -1
+		if len(s.events) > 0 {
+			n = s.events[0]
+		}
+		for i := range s.lanes {
+			l := &s.lanes[i]
+			if l.n == 0 {
+				continue
+			}
+			if h := l.ring[l.head]; n == nil || timerLess(h, n) {
+				n, li = h, i
+			}
+		}
+		if n == nil {
+			return 0, 0, 0, false
+		}
+		if !n.stopped {
+			return n.at, n.schedAt, n.rank, true
+		}
+		if li < 0 {
+			s.popMin()
+		} else {
+			s.lanes[li].pop()
+		}
+		s.recycle(n)
+	}
+}
+
+// runOne pops and executes exactly the earliest live event. The caller
+// (the group's merged same-instant step) must have established via
+// peekLive that one exists.
+func (s *Simulator) runOne() {
+	for {
+		var n *timerNode
+		li := -1
+		if len(s.events) > 0 {
+			n = s.events[0]
+		}
+		for i := range s.lanes {
+			l := &s.lanes[i]
+			if l.n == 0 {
+				continue
+			}
+			if h := l.ring[l.head]; n == nil || timerLess(h, n) {
+				n, li = h, i
+			}
+		}
+		if n == nil {
+			return
+		}
+		if li < 0 {
+			s.popMin()
+		} else {
+			s.lanes[li].pop()
+		}
+		if n.stopped {
+			s.recycle(n)
+			continue
+		}
+		s.live--
+		s.now = n.at
+		s.executed++
+		if tgt := n.target; tgt != nil {
+			s.recycle(n)
+			tgt.RunEvent()
+		} else {
+			fn := n.fn
+			s.recycle(n)
+			fn()
+		}
+		return
+	}
+}
+
+// advanceTo moves virtual time forward to t (never backward). The group
+// uses it to line shard clocks up at epoch barriers.
+func (s *Simulator) advanceTo(t Time) {
+	if t > s.now {
+		s.now = t
 	}
 }
 
 // Pending returns the number of queued (possibly stopped) events across
-// the heap and the lanes.
+// the heap and the lanes; for the control simulator of a sharded Group it
+// aggregates across every shard. See Live for the count excluding
+// cancelled timers.
 func (s *Simulator) Pending() int {
+	if s.group != nil {
+		return s.group.pending()
+	}
+	return s.pendingLocal()
+}
+
+func (s *Simulator) pendingLocal() int {
 	n := len(s.events)
 	for i := range s.lanes {
 		n += s.lanes[i].n
 	}
 	return n
+}
+
+// Live returns the number of queued events that have not been cancelled —
+// the events that will actually fire. Group-aware like Pending.
+func (s *Simulator) Live() int {
+	if s.group != nil {
+		return s.group.live()
+	}
+	return s.live
 }
 
 // Warm pre-sizes the engine's memory so a subsequent run whose pending

@@ -296,8 +296,8 @@ func TestStaleHandleOnRecycledNode(t *testing.T) {
 	if stale.Active() {
 		t.Fatal("stale Active reported true")
 	}
-	if w := stale.When(); w != 0 {
-		t.Fatalf("stale When = %v, want 0", w)
+	if w, ok := stale.When(); ok || w != 0 {
+		t.Fatalf("stale When = %v, %v, want 0, false", w, ok)
 	}
 	if !fresh.Active() {
 		t.Fatal("stale Stop deactivated the recycled node's new timer")
@@ -335,8 +335,8 @@ func TestZeroTimerInert(t *testing.T) {
 	if tm.Stop() {
 		t.Fatal("zero Timer Stop reported true")
 	}
-	if tm.When() != 0 {
-		t.Fatal("zero Timer When != 0")
+	if w, ok := tm.When(); ok || w != 0 {
+		t.Fatal("zero Timer When != 0, false")
 	}
 }
 

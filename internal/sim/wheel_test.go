@@ -149,8 +149,8 @@ func TestLaneStopAndHandles(t *testing.T) {
 	s := New(1)
 	fired := 0
 	tm := s.After(100, func() { fired++ })
-	if !tm.Active() || tm.When() != 100 {
-		t.Fatalf("lane timer not pending: active=%v when=%v", tm.Active(), tm.When())
+	if w, ok := tm.When(); !tm.Active() || !ok || w != 100 {
+		t.Fatalf("lane timer not pending: active=%v when=%v,%v", tm.Active(), w, ok)
 	}
 	if !tm.Stop() {
 		t.Fatal("Stop() = false on a pending lane timer")

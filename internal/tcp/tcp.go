@@ -69,16 +69,19 @@ type Config struct {
 
 // Probe observes a connection's congestion control for the telemetry
 // layer (internal/telemetry). All callbacks are read-only observers.
+// Each callback carries the sender's current virtual time explicitly: in
+// a partitioned network senders run on per-shard simulators, so a shared
+// probe implementation has no single clock to consult.
 type Probe interface {
 	// Cwnd runs after any congestion-window change.
-	Cwnd(flow netsim.FlowID, cwnd, ssthresh int64)
+	Cwnd(now sim.Time, flow netsim.FlowID, cwnd, ssthresh int64)
 	// RTOFired runs when the retransmission timer expires; backoff is
 	// the exponential-backoff step count including this firing.
-	RTOFired(flow netsim.FlowID, backoff uint)
+	RTOFired(now sim.Time, flow netsim.FlowID, backoff uint)
 	// Recovery runs on fast-recovery entry (enter=true) and exit.
-	Recovery(flow netsim.FlowID, enter bool)
+	Recovery(now sim.Time, flow netsim.FlowID, enter bool)
 	// Retransmit runs for every retransmitted segment.
-	Retransmit(flow netsim.FlowID, bytes int64)
+	Retransmit(now sim.Time, flow netsim.FlowID, bytes int64)
 }
 
 func (c *Config) fillDefaults() {
@@ -166,10 +169,12 @@ func NewSender(cfg Config) *Sender {
 	return s
 }
 
-// Dial creates a sender and its matching receiver, registering both.
+// Dial creates a sender and its matching receiver, registering both. The
+// receiver runs on the peer host's simulator — distinct from cfg.Sim
+// once the network is partitioned across shards.
 func Dial(cfg Config) (*Sender, *Receiver) {
 	s := NewSender(cfg)
-	r := NewReceiver(cfg.Sim, cfg.Peer, cfg.Local, cfg.Flow)
+	r := NewReceiver(cfg.Peer.Sim(), cfg.Peer, cfg.Local, cfg.Flow)
 	return s, r
 }
 
@@ -319,7 +324,7 @@ func (s *Sender) retransmit(seq int64) {
 	}
 	s.st.RtxBytes += seg
 	if s.cfg.Probe != nil {
-		s.cfg.Probe.Retransmit(s.cfg.Flow, seg)
+		s.cfg.Probe.Retransmit(s.cfg.Sim.Now(), s.cfg.Flow, seg)
 	}
 	s.cfg.Local.Send(s.mkData(seq, int(seg)))
 }
@@ -327,7 +332,7 @@ func (s *Sender) retransmit(seq int64) {
 // probeCwnd reports the current window to the telemetry probe, if any.
 func (s *Sender) probeCwnd() {
 	if s.cfg.Probe != nil {
-		s.cfg.Probe.Cwnd(s.cfg.Flow, s.cwnd, s.ssthresh)
+		s.cfg.Probe.Cwnd(s.cfg.Sim.Now(), s.cfg.Flow, s.cwnd, s.ssthresh)
 	}
 }
 
@@ -353,7 +358,7 @@ func (s *Sender) onRTO() {
 	s.st.Timeouts++
 	s.rtoBackoff++
 	if s.cfg.Probe != nil {
-		s.cfg.Probe.RTOFired(s.cfg.Flow, s.rtoBackoff)
+		s.cfg.Probe.RTOFired(s.cfg.Sim.Now(), s.cfg.Flow, s.rtoBackoff)
 	}
 	if s.state == stateSynSent {
 		s.sendSYN()
@@ -366,14 +371,14 @@ func (s *Sender) onRTO() {
 	s.ssthresh = maxI64(fl/2, int64(2*s.cfg.MSS))
 	s.cwnd = int64(s.cfg.MSS)
 	if s.inFR && s.cfg.Probe != nil {
-		s.cfg.Probe.Recovery(s.cfg.Flow, false)
+		s.cfg.Probe.Recovery(s.cfg.Sim.Now(), s.cfg.Flow, false)
 	}
 	s.sndNxt = s.sndUna // go-back-N
 	s.dupacks = 0
 	s.inFR = false
 	s.st.RtxBytes += minI64(int64(s.cfg.MSS), s.budget-s.sndUna)
 	if s.cfg.Probe != nil {
-		s.cfg.Probe.Retransmit(s.cfg.Flow, minI64(int64(s.cfg.MSS), s.budget-s.sndUna))
+		s.cfg.Probe.Retransmit(s.cfg.Sim.Now(), s.cfg.Flow, minI64(int64(s.cfg.MSS), s.budget-s.sndUna))
 	}
 	s.probeCwnd()
 	s.trySend()
@@ -423,7 +428,7 @@ func (s *Sender) Deliver(pkt *netsim.Packet) {
 				s.cwnd = s.ssthresh
 				s.clampCwnd()
 				if s.cfg.Probe != nil {
-					s.cfg.Probe.Recovery(s.cfg.Flow, false)
+					s.cfg.Probe.Recovery(s.cfg.Sim.Now(), s.cfg.Flow, false)
 				}
 			} else {
 				// Partial ACK (RFC 6582): retransmit the next hole,
@@ -465,7 +470,7 @@ func (s *Sender) Deliver(pkt *netsim.Packet) {
 			s.cwnd = s.ssthresh + int64(3*s.cfg.MSS)
 			s.clampCwnd()
 			if s.cfg.Probe != nil {
-				s.cfg.Probe.Recovery(s.cfg.Flow, true)
+				s.cfg.Probe.Recovery(s.cfg.Sim.Now(), s.cfg.Flow, true)
 			}
 			s.probeCwnd()
 			s.retransmit(s.sndUna)

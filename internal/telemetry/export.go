@@ -68,7 +68,13 @@ func (c *Collector) WriteTrace(w io.Writer) error {
 			Name: "process_name", Ph: "M", Pid: pid, Tid: 0,
 			Args: map[string]string{"name": t.key},
 		})
-		for i, track := range t.rec.tidNames {
+		// Thread ids are assigned from the sorted distinct track names of
+		// the retained events — never from arrival order, which is
+		// nondeterministic under sharded execution.
+		tracks := t.rec.tracks()
+		tids := make(map[string]int, len(tracks))
+		for i, track := range tracks {
+			tids[track] = i + 1
 			tf.TraceEvents = append(tf.TraceEvents, metaEvent{
 				Name: "thread_name", Ph: "M", Pid: pid, Tid: i + 1,
 				Args: map[string]string{"name": track},
@@ -77,7 +83,7 @@ func (c *Collector) WriteTrace(w io.Writer) error {
 		for _, e := range t.rec.events() {
 			te := traceEvent{
 				Name: e.name, Cat: e.cat, Ph: string(e.ph),
-				Ts: usec(e.ts), Pid: pid, Tid: e.tid, Args: argMap(e.args[:e.nargs]),
+				Ts: usec(e.ts), Pid: pid, Tid: tids[e.track], Args: argMap(e.args[:e.nargs]),
 			}
 			switch e.ph {
 			case 'X':
@@ -139,7 +145,7 @@ func (c *Collector) WriteMetrics(w io.Writer) error {
 			Gauges:       []gaugeJSON{},
 			Histograms:   []histJSON{},
 			TraceEvents:  len(t.rec.buf),
-			TraceDropped: t.rec.dropped,
+			TraceDropped: t.rec.dropped(),
 		}
 		for _, ctr := range t.reg.counters {
 			mt.Counters = append(mt.Counters, counterJSON{ctr.name, ctr.v})

@@ -34,9 +34,12 @@ type flowLabelKey struct {
 }
 
 // flowLabel is the caching form of flowName. Only formats once per
-// (prefix, flow); lookups allocate nothing.
+// (prefix, flow); lookups allocate nothing. Goroutine-safe: probes call
+// it from shard goroutines in a partitioned network.
 func (t *Trial) flowLabel(prefix string, f netsim.FlowID) string {
 	k := flowLabelKey{prefix, f}
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	if s, ok := t.flowLabels[k]; ok {
 		return s
 	}
@@ -50,7 +53,10 @@ func (t *Trial) flowLabel(prefix string, f netsim.FlowID) string {
 
 // portLabel is the caching form of portKey. Keyed by port pointer —
 // lookup only, never iterated, so determinism is unaffected.
+// Goroutine-safe like flowLabel.
 func (t *Trial) portLabel(p *netsim.Port) string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	if s, ok := t.portLabels[p]; ok {
 		return s
 	}
@@ -73,7 +79,10 @@ type flowTrack struct {
 // netProbe implements netsim.Probe: forwarding-path counters, per-drop
 // instants, link-down spans, and flow-lifetime spans derived from the
 // sender NIC (first data-direction packet opens the flow, FIN closes
-// it). It copies packet fields and retains no pointers.
+// it). It copies packet fields and retains no pointers. Timestamps come
+// from the observed port's own simulator (its shard clock), never the
+// trial's control clock; the shared maps are guarded by the trial mutex
+// because shard goroutines fire these callbacks concurrently.
 type netProbe struct {
 	t                      *Trial
 	enq, deq, drops, dropB *Counter
@@ -98,23 +107,33 @@ func (p *netProbe) PortEnqueue(port *netsim.Port, pkt *netsim.Packet) {
 	if _, isHost := port.Owner.(*netsim.Host); !isHost || pkt.Flags&netsim.FlagACK != 0 {
 		return
 	}
+	now := port.Sim().Now()
 	// Sender-NIC data direction: track the flow's lifetime exactly once
-	// per packet (every other hop would double-count).
+	// per packet (every other hop would double-count). A given flow only
+	// ever enqueues at its own sender NIC, so the two-step below (map
+	// mutation under the lock, span emission after) cannot interleave for
+	// the same flow; the lock protects the map against *other* flows'
+	// shards.
 	if pkt.Flags&netsim.FlagFIN != 0 {
-		if ft := p.flows[pkt.Flow]; ft != nil {
-			p.t.Span("flow", p.t.flowLabel("flow", pkt.Flow), "flows", ft.start, p.t.now(),
+		p.t.mu.Lock()
+		ft := p.flows[pkt.Flow]
+		delete(p.flows, pkt.Flow)
+		p.t.mu.Unlock()
+		if ft != nil {
+			p.t.Span("flow", p.t.flowLabel("flow", pkt.Flow), "flows", ft.start, now,
 				Arg{"bytes", float64(ft.bytes)}, Arg{"pkts", float64(ft.pkts)})
-			delete(p.flows, pkt.Flow)
 		}
 		return
 	}
+	p.t.mu.Lock()
 	ft := p.flows[pkt.Flow]
 	if ft == nil {
-		ft = &flowTrack{start: p.t.now()}
+		ft = &flowTrack{start: now}
 		p.flows[pkt.Flow] = ft
 	}
 	ft.bytes += int64(pkt.Payload)
 	ft.pkts++
+	p.t.mu.Unlock()
 }
 
 func (p *netProbe) PortDequeue(port *netsim.Port, pkt *netsim.Packet) {
@@ -124,19 +143,24 @@ func (p *netProbe) PortDequeue(port *netsim.Port, pkt *netsim.Packet) {
 func (p *netProbe) PortDrop(port *netsim.Port, pkt *netsim.Packet) {
 	p.drops.Inc()
 	p.dropB.Add(int64(pkt.FrameBytes()))
-	p.t.Instant("net", "drop "+p.t.portLabel(port), "drops",
+	p.t.InstantAt(port.Sim().Now(), "net", "drop "+p.t.portLabel(port), "drops",
 		Arg{"flow", float64(pkt.Flow)}, Arg{"seq", float64(pkt.Seq)})
 }
 
 func (p *netProbe) LinkState(port *netsim.Port, down bool) {
 	key := p.t.portLabel(port)
+	now := port.Sim().Now()
+	p.t.mu.Lock()
 	if down {
-		p.downAt[key] = p.t.now()
+		p.downAt[key] = now
+		p.t.mu.Unlock()
 		return
 	}
-	if at, ok := p.downAt[key]; ok {
-		p.t.Span("net", "link-down "+key, "links", at, p.t.now())
-		delete(p.downAt, key)
+	at, ok := p.downAt[key]
+	delete(p.downAt, key)
+	p.t.mu.Unlock()
+	if ok {
+		p.t.Span("net", "link-down "+key, "links", at, now)
 	}
 }
 
@@ -221,7 +245,7 @@ func (p *tfcProbe) SlotEnd(port *netsim.Port, info core.SlotInfo) {
 	p.slots.Inc()
 	p.rttm.Observe(info.RTTm.Micros())
 	key := p.t.portLabel(port)
-	p.t.CounterEvent("tfc", "tfc "+key, key,
+	p.t.CounterEventAt(port.Sim().Now(), "tfc", "tfc "+key, key,
 		Arg{"tokens", info.T}, Arg{"eflows", float64(info.E)}, Arg{"window", info.W})
 }
 
@@ -232,17 +256,24 @@ func (p *tfcProbe) WindowStamp(port *netsim.Port, flow netsim.FlowID, window int
 func (p *tfcProbe) DelayHold(port *netsim.Port, flow netsim.FlowID, held int) {
 	p.delayed.Inc()
 	k := holdKey{p.t.portLabel(port), flow}
+	now := port.Sim().Now()
+	p.t.mu.Lock()
 	if _, dup := p.holdAt[k]; !dup {
-		p.holdAt[k] = p.t.now()
+		p.holdAt[k] = now
 	}
+	p.t.mu.Unlock()
 }
 
 func (p *tfcProbe) DelayGrant(port *netsim.Port, flow netsim.FlowID, held int) {
 	k := holdKey{p.t.portLabel(port), flow}
-	if at, ok := p.holdAt[k]; ok {
-		p.t.Span("tfc", p.t.flowLabel("ack-hold", flow), port.Label, at, p.t.now(),
+	now := port.Sim().Now()
+	p.t.mu.Lock()
+	at, ok := p.holdAt[k]
+	delete(p.holdAt, k)
+	p.t.mu.Unlock()
+	if ok {
+		p.t.Span("tfc", p.t.flowLabel("ack-hold", flow), port.Label, at, now,
 			Arg{"held", float64(held)})
-		delete(p.holdAt, k)
 	}
 }
 
@@ -317,37 +348,42 @@ func (p *transportProbe) ensure() {
 	p.frAt = make(map[netsim.FlowID]sim.Time)
 }
 
-func (p *transportProbe) Cwnd(flow netsim.FlowID, cwnd, ssthresh int64) {
+func (p *transportProbe) Cwnd(now sim.Time, flow netsim.FlowID, cwnd, ssthresh int64) {
 	p.cwnd.Observe(float64(cwnd))
-	p.t.CounterEvent("tcp", p.t.flowLabel("cwnd", flow), "cwnd",
+	p.t.CounterEventAt(now, "tcp", p.t.flowLabel("cwnd", flow), "cwnd",
 		Arg{"cwnd", float64(cwnd)}, Arg{"ssthresh", float64(ssthresh)})
 }
 
-func (p *transportProbe) RTOFired(flow netsim.FlowID, backoff uint) {
+func (p *transportProbe) RTOFired(now sim.Time, flow netsim.FlowID, backoff uint) {
 	p.rtos.Inc()
-	p.t.Instant("tcp", p.t.flowLabel("rto", flow), "rto", Arg{"backoff", float64(backoff)})
+	p.t.InstantAt(now, "tcp", p.t.flowLabel("rto", flow), "rto", Arg{"backoff", float64(backoff)})
 }
 
-func (p *transportProbe) Recovery(flow netsim.FlowID, enter bool) {
+func (p *transportProbe) Recovery(now sim.Time, flow netsim.FlowID, enter bool) {
 	if enter {
 		p.recs.Inc()
+		p.t.mu.Lock()
 		if _, dup := p.frAt[flow]; !dup {
-			p.frAt[flow] = p.t.now()
+			p.frAt[flow] = now
 		}
+		p.t.mu.Unlock()
 		return
 	}
-	if at, ok := p.frAt[flow]; ok {
-		p.t.Span("tcp", p.t.flowLabel("fast-recovery", flow), "recovery", at, p.t.now())
-		delete(p.frAt, flow)
+	p.t.mu.Lock()
+	at, ok := p.frAt[flow]
+	delete(p.frAt, flow)
+	p.t.mu.Unlock()
+	if ok {
+		p.t.Span("tcp", p.t.flowLabel("fast-recovery", flow), "recovery", at, now)
 	}
 }
 
-func (p *transportProbe) Retransmit(flow netsim.FlowID, bytes int64) {
+func (p *transportProbe) Retransmit(now sim.Time, flow netsim.FlowID, bytes int64) {
 	p.rtxBytes.Add(bytes)
 }
 
-func (p *transportProbe) CreditRate(flow netsim.FlowID, perSec float64) {
-	p.t.CounterEvent("credit", p.t.flowLabel("credit-rate", flow), "credit",
+func (p *transportProbe) CreditRate(now sim.Time, flow netsim.FlowID, perSec float64) {
+	p.t.CounterEventAt(now, "credit", p.t.flowLabel("credit-rate", flow), "credit",
 		Arg{"rate", perSec})
 }
 

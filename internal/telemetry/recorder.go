@@ -1,6 +1,10 @@
 package telemetry
 
-import "tfcsim/internal/sim"
+import (
+	"sort"
+
+	"tfcsim/internal/sim"
+)
 
 // Arg is one numeric key/value attached to a recorded event. Trace
 // events carry only numbers: strings would force per-event allocation on
@@ -17,14 +21,19 @@ const maxArgs = 3
 
 // event is one recorded trace event. ph follows the Chrome trace-event
 // phases used here: 'X' complete span (ts+dur), 'i' instant, 'C' counter.
+// Events carry their track name directly (not an interned id): in a
+// partitioned network events arrive from shard goroutines in
+// nondeterministic order, so any first-use interning would be
+// nondeterministic too — export derives thread ids from the sorted track
+// names instead.
 type event struct {
 	name  string
 	cat   string
+	track string
 	ph    byte
 	nargs uint8
 	ts    sim.Time
 	dur   sim.Time
-	tid   int
 	args  [maxArgs]Arg
 }
 
@@ -37,53 +46,132 @@ func (e *event) setArgs(args []Arg) {
 	e.nargs = uint8(copy(e.args[:], args))
 }
 
-// recorder is a bounded ring of events. When full, the oldest events are
-// overwritten (a trial's tail is usually the interesting part) and
-// counted in dropped. Track names are interned to small integer tids in
-// first-use order — deterministic because the simulation is.
-type recorder struct {
-	buf     []event
-	head    int // index of the oldest event
-	n       int
-	dropped int64
-
-	tidIdx   map[string]int
-	tidNames []string
-}
-
-func (r *recorder) init(cap int) {
-	r.buf = make([]event, 0, cap)
-	r.tidIdx = make(map[string]int)
-}
-
-// tid interns a track name. tid 0 is reserved for process metadata.
-func (r *recorder) tid(track string) int {
-	if id, ok := r.tidIdx[track]; ok {
-		return id
+// eventLess is the canonical total order on events: virtual timestamp,
+// then every remaining field. Two events that compare equal are
+// field-for-field identical, so any ordering (or eviction choice) among
+// equals leaves the exported bytes unchanged. This is what makes the
+// recorder's output a pure function of the event *multiset* — and the
+// multiset is identical between sequential and sharded execution of the
+// same simulation, even though arrival order is not.
+func eventLess(a, b *event) bool {
+	if a.ts != b.ts {
+		return a.ts < b.ts
 	}
-	id := len(r.tidNames) + 1
-	r.tidIdx[track] = id
-	r.tidNames = append(r.tidNames, track)
-	return id
+	if a.track != b.track {
+		return a.track < b.track
+	}
+	if a.ph != b.ph {
+		return a.ph < b.ph
+	}
+	if a.cat != b.cat {
+		return a.cat < b.cat
+	}
+	if a.name != b.name {
+		return a.name < b.name
+	}
+	if a.dur != b.dur {
+		return a.dur < b.dur
+	}
+	if a.nargs != b.nargs {
+		return a.nargs < b.nargs
+	}
+	for i := uint8(0); i < a.nargs; i++ {
+		if a.args[i].K != b.args[i].K {
+			return a.args[i].K < b.args[i].K
+		}
+		if a.args[i].V != b.args[i].V {
+			return a.args[i].V < b.args[i].V
+		}
+	}
+	return false
 }
 
+// recorder keeps the canonically-largest `cap` events seen so far (a
+// min-heap ordered by eventLess, evicting the minimum on overflow).
+// Because eviction always removes the global canonical minimum, the
+// retained set is the top-cap of the full event multiset — invariant
+// under arrival order, which is exactly what sharded execution needs for
+// byte-identical traces. Since the canonical order leads with the
+// timestamp, "keep the largest" preserves the old ring's behaviour of
+// keeping a trial's tail (usually the interesting part).
+type recorder struct {
+	limit int
+	buf   []event // min-heap by eventLess
+	total int64   // all events ever pushed
+}
+
+func (r *recorder) init(limit int) {
+	r.limit = limit
+	r.buf = make([]event, 0, limit)
+}
+
+// push records one event, evicting the canonical minimum when full.
+// Callers must hold the owning Trial's mutex.
 func (r *recorder) push(e event) {
-	if len(r.buf) < cap(r.buf) {
+	r.total++
+	if len(r.buf) < r.limit {
 		r.buf = append(r.buf, e)
-		r.n++
+		r.siftUp(len(r.buf) - 1)
 		return
 	}
-	// Full: overwrite the oldest.
-	r.buf[r.head] = e
-	r.head = (r.head + 1) % len(r.buf)
-	r.dropped++
+	if eventLess(&e, &r.buf[0]) {
+		return // below the kept range entirely
+	}
+	r.buf[0] = e
+	r.siftDown(0)
 }
 
-// events returns the recorded events oldest-first.
-func (r *recorder) events() []event {
-	out := make([]event, 0, len(r.buf))
-	for i := 0; i < len(r.buf); i++ {
-		out = append(out, r.buf[(r.head+i)%len(r.buf)])
+func (r *recorder) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !eventLess(&r.buf[i], &r.buf[parent]) {
+			return
+		}
+		r.buf[i], r.buf[parent] = r.buf[parent], r.buf[i]
+		i = parent
 	}
+}
+
+func (r *recorder) siftDown(i int) {
+	n := len(r.buf)
+	for {
+		min, l, rt := i, 2*i+1, 2*i+2
+		if l < n && eventLess(&r.buf[l], &r.buf[min]) {
+			min = l
+		}
+		if rt < n && eventLess(&r.buf[rt], &r.buf[min]) {
+			min = rt
+		}
+		if min == i {
+			return
+		}
+		r.buf[i], r.buf[min] = r.buf[min], r.buf[i]
+		i = min
+	}
+}
+
+// dropped counts events evicted (or never admitted) by the size limit.
+func (r *recorder) dropped() int64 { return r.total - int64(len(r.buf)) }
+
+// events returns the retained events in canonical ascending order.
+func (r *recorder) events() []event {
+	out := make([]event, len(r.buf))
+	copy(out, r.buf)
+	sort.Slice(out, func(i, j int) bool { return eventLess(&out[i], &out[j]) })
+	return out
+}
+
+// tracks returns the sorted distinct track names of the retained events;
+// export numbers thread ids from this list (tid = index + 1).
+func (r *recorder) tracks() []string {
+	seen := make(map[string]bool)
+	var out []string
+	for i := range r.buf {
+		if !seen[r.buf[i].track] {
+			seen[r.buf[i].track] = true
+			out = append(out, r.buf[i].track)
+		}
+	}
+	sort.Strings(out)
 	return out
 }

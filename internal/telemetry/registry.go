@@ -1,25 +1,30 @@
 package telemetry
 
 import (
+	"sync"
+	"sync/atomic"
+
 	"tfcsim/internal/sim"
 	"tfcsim/internal/stats"
 )
 
 // Counter is a monotonically written int64 metric. A nil *Counter (from
-// a nil trial) absorbs writes at the cost of one nil-check.
+// a nil trial) absorbs writes at the cost of one nil-check. Writes are
+// atomic: counter-only probe paths (packet enqueue/dequeue, marks,
+// pauses) stay lock-free when shard goroutines fire them concurrently.
 type Counter struct {
 	name string
 	v    int64
 }
 
-// Add increments the counter by n. Nil-safe.
+// Add increments the counter by n. Nil-safe, goroutine-safe.
 func (c *Counter) Add(n int64) {
 	if c != nil {
-		c.v += n
+		atomic.AddInt64(&c.v, n)
 	}
 }
 
-// Inc increments the counter by one. Nil-safe.
+// Inc increments the counter by one. Nil-safe, goroutine-safe.
 func (c *Counter) Inc() { c.Add(1) }
 
 // Value returns the current count (0 for nil).
@@ -27,7 +32,7 @@ func (c *Counter) Value() int64 {
 	if c == nil {
 		return 0
 	}
-	return c.v
+	return atomic.LoadInt64(&c.v)
 }
 
 // gauge is a registered callback polled on the sampling cadence.
@@ -38,16 +43,20 @@ type gauge struct {
 }
 
 // Hist is a registered fixed-bucket histogram. A nil *Hist absorbs
-// observations.
+// observations. Observe serializes internally: histogram probes fire
+// from shard goroutines in a partitioned network.
 type Hist struct {
 	name string
+	mu   sync.Mutex
 	h    *stats.Histogram
 }
 
-// Observe counts one observation. Nil-safe.
+// Observe counts one observation. Nil-safe, goroutine-safe.
 func (h *Hist) Observe(x float64) {
 	if h != nil {
+		h.mu.Lock()
 		h.h.Observe(x)
+		h.mu.Unlock()
 	}
 }
 

@@ -40,8 +40,11 @@ type Options struct {
 	// SampleEvery is the virtual-time gauge sampling cadence
 	// (default 1ms).
 	SampleEvery sim.Time
-	// RingCap bounds the per-trial event recorder; when full, the oldest
-	// events are overwritten and counted as dropped (default 65536).
+	// RingCap bounds the per-trial event recorder; when full, the
+	// retained set is the top RingCap events under the recorder's
+	// canonical order — a pure function of the pushed multiset, so the
+	// trace is identical however shard execution interleaves the pushes —
+	// and the rest are counted as dropped (default 65536).
 	RingCap int
 }
 
@@ -118,6 +121,13 @@ type Trial struct {
 	sim  *sim.Simulator
 	reg  registry
 	rec  recorder
+
+	// mu serializes the shared mutable state that probe callbacks touch:
+	// the recorder, the label caches, probe-internal maps, and metric
+	// creation. In a partitioned network probes fire concurrently from
+	// shard goroutines; sequential runs pay one uncontended lock per
+	// recorded event. Counter increments stay lock-free (atomics).
+	mu sync.Mutex
 
 	stopSample bool
 	flushed    bool
@@ -211,6 +221,8 @@ func (t *Trial) Counter(name string) *Counter {
 	if t == nil {
 		return nil
 	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	return t.reg.counter(name)
 }
 
@@ -221,6 +233,8 @@ func (t *Trial) Gauge(name string, fn func() float64) {
 	if t == nil {
 		return
 	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	t.reg.gauge(name, fn)
 }
 
@@ -231,10 +245,18 @@ func (t *Trial) Histogram(name string, bounds ...float64) *Hist {
 	if t == nil {
 		return nil
 	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	return t.reg.histogram(name, bounds)
 }
 
 // --- recorder surface (nil-safe wrappers) ---
+//
+// Span/InstantAt/CounterEventAt take explicit virtual timestamps: probe
+// callbacks in a partitioned network run on shard goroutines, where the
+// trial's bound (control) simulator is the wrong clock. Instant and
+// CounterEvent stamp the bound simulator's time and are for control-side
+// callers only.
 
 // Span records a completed span [start, end] on the named track.
 func (t *Trial) Span(cat, name, track string, start, end sim.Time, args ...Arg) {
@@ -244,29 +266,52 @@ func (t *Trial) Span(cat, name, track string, start, end sim.Time, args ...Arg) 
 	if end < start {
 		end = start
 	}
-	e := event{name: name, cat: cat, ph: 'X', ts: start, dur: end - start,
-		tid: t.rec.tid(track)}
+	e := event{name: name, cat: cat, ph: 'X', ts: start, dur: end - start, track: track}
 	e.setArgs(args)
+	t.mu.Lock()
 	t.rec.push(e)
+	t.mu.Unlock()
 }
 
-// Instant records a point event at the current virtual time.
+// InstantAt records a point event at the given virtual time.
+func (t *Trial) InstantAt(at sim.Time, cat, name, track string, args ...Arg) {
+	if t == nil {
+		return
+	}
+	e := event{name: name, cat: cat, ph: 'i', ts: at, track: track}
+	e.setArgs(args)
+	t.mu.Lock()
+	t.rec.push(e)
+	t.mu.Unlock()
+}
+
+// Instant records a point event at the bound simulator's current virtual
+// time (control-side callers only; probes use InstantAt).
 func (t *Trial) Instant(cat, name, track string, args ...Arg) {
 	if t == nil {
 		return
 	}
-	e := event{name: name, cat: cat, ph: 'i', ts: t.now(), tid: t.rec.tid(track)}
-	e.setArgs(args)
-	t.rec.push(e)
+	t.InstantAt(t.now(), cat, name, track, args...)
 }
 
-// CounterEvent records a counter sample (graphed as a series in
-// Perfetto) at the current virtual time.
+// CounterEventAt records a counter sample (graphed as a series in
+// Perfetto) at the given virtual time.
+func (t *Trial) CounterEventAt(at sim.Time, cat, name, track string, args ...Arg) {
+	if t == nil {
+		return
+	}
+	e := event{name: name, cat: cat, ph: 'C', ts: at, track: track}
+	e.setArgs(args)
+	t.mu.Lock()
+	t.rec.push(e)
+	t.mu.Unlock()
+}
+
+// CounterEvent records a counter sample at the bound simulator's current
+// virtual time (control-side callers only; probes use CounterEventAt).
 func (t *Trial) CounterEvent(cat, name, track string, args ...Arg) {
 	if t == nil {
 		return
 	}
-	e := event{name: name, cat: cat, ph: 'C', ts: t.now(), tid: t.rec.tid(track)}
-	e.setArgs(args)
-	t.rec.push(e)
+	t.CounterEventAt(t.now(), cat, name, track, args...)
 }

@@ -94,20 +94,20 @@ func TestGaugeSamplingCadence(t *testing.T) {
 	}
 }
 
-func TestRecorderRingOverwrite(t *testing.T) {
+func TestRecorderKeepsCanonicalTail(t *testing.T) {
 	var r recorder
 	r.init(4)
 	for i := 0; i < 7; i++ {
 		r.push(event{name: string(rune('a' + i)), ph: 'i', ts: sim.Time(i)})
 	}
-	if r.dropped != 3 {
-		t.Fatalf("dropped = %d, want 3", r.dropped)
+	if d := r.dropped(); d != 3 {
+		t.Fatalf("dropped = %d, want 3", d)
 	}
 	evs := r.events()
 	if len(evs) != 4 {
 		t.Fatalf("len(events) = %d, want 4", len(evs))
 	}
-	// Oldest-first: d, e, f, g survive.
+	// The canonically-largest 4 (the latest timestamps) survive, ascending.
 	want := []string{"d", "e", "f", "g"}
 	for i, e := range evs {
 		if e.name != want[i] {
@@ -116,16 +116,43 @@ func TestRecorderRingOverwrite(t *testing.T) {
 	}
 }
 
-func TestRecorderTidInterning(t *testing.T) {
+func TestRecorderOrderInvariant(t *testing.T) {
+	// The retained set must be a pure function of the pushed multiset,
+	// regardless of arrival order — this is what keeps sharded traces
+	// byte-identical to sequential ones.
+	mk := func(order []int) *recorder {
+		var r recorder
+		r.init(3)
+		for _, i := range order {
+			r.push(event{name: string(rune('a' + i)), ph: 'i', ts: sim.Time(i), track: "t"})
+		}
+		return &r
+	}
+	a := mk([]int{0, 1, 2, 3, 4, 5})
+	b := mk([]int{5, 3, 1, 4, 2, 0})
+	ea, eb := a.events(), b.events()
+	if len(ea) != len(eb) {
+		t.Fatalf("retained %d vs %d events", len(ea), len(eb))
+	}
+	for i := range ea {
+		if ea[i] != eb[i] {
+			t.Fatalf("event %d differs across arrival orders: %+v vs %+v", i, ea[i], eb[i])
+		}
+	}
+	if a.dropped() != b.dropped() {
+		t.Fatalf("dropped %d vs %d", a.dropped(), b.dropped())
+	}
+}
+
+func TestRecorderTracksSorted(t *testing.T) {
 	var r recorder
 	r.init(8)
-	a := r.tid("alpha")
-	b := r.tid("beta")
-	if a != 1 || b != 2 {
-		t.Fatalf("tids = %d,%d; want first-use order starting at 1", a, b)
-	}
-	if again := r.tid("alpha"); again != a {
-		t.Fatalf("re-interning alpha gave %d, want %d", again, a)
+	r.push(event{name: "x", ph: 'i', track: "zeta"})
+	r.push(event{name: "y", ph: 'i', track: "alpha"})
+	r.push(event{name: "z", ph: 'i', track: "zeta"})
+	got := r.tracks()
+	if len(got) != 2 || got[0] != "alpha" || got[1] != "zeta" {
+		t.Fatalf("tracks = %v, want [alpha zeta]", got)
 	}
 }
 

@@ -245,10 +245,10 @@ func (t *RTOTimer) Deadline() sim.Time { return t.deadline }
 func (t *RTOTimer) Arm(d sim.Time) {
 	t.deadline = t.s.Now() + d
 	t.armed = true
-	if t.timer.Active() {
+	if w, ok := t.timer.When(); ok {
 		// A pending timer firing at or before the deadline will re-check
 		// and re-schedule itself; one firing later must be replaced.
-		if t.timer.When() <= t.deadline {
+		if w <= t.deadline {
 			return
 		}
 		t.timer.Stop()

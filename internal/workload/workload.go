@@ -76,8 +76,11 @@ func (d *Dialer) Dial(src, dst *netsim.Host, onDrain, onComplete func()) *Conn {
 	if d.Probe != nil {
 		probe = d.Probe(string(d.Proto))
 	}
+	// The sender runs on the source host's simulator (its shard, once the
+	// network is partitioned); transports bind their receiver side to the
+	// peer host's simulator themselves.
 	c := f.Dial(transport.DialConfig{
-		Sim: d.Sim, Local: src, Peer: dst, Flow: flow,
+		Sim: src.Sim(), Local: src, Peer: dst, Flow: flow,
 		MSS: d.MSS, MinRTO: d.MinRTO,
 		OnDrain: onDrain, OnComplete: onComplete, Probe: probe,
 	})

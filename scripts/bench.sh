@@ -1,8 +1,9 @@
 #!/usr/bin/env sh
 # bench.sh — run the engine benchmarks and emit a BENCH_<label>.json artifact.
 #
-#   scripts/bench.sh            # writes BENCH_1.json (5 runs of the engine bench)
-#   scripts/bench.sh mybranch   # writes BENCH_mybranch.json
+#   scripts/bench.sh             # writes BENCH_1.json (5 runs of the engine bench)
+#   scripts/bench.sh mybranch    # writes BENCH_mybranch.json
+#   scripts/bench.sh shard-sweep # writes BENCH_3.json (parallel-engine scaling)
 #
 # Compare against the committed pre-refactor baseline BENCH_0.json, or with
 # benchstat on the raw text kept next to the JSON.
@@ -12,6 +13,21 @@ cd "$(dirname "$0")/.."
 label="${1:-1}"
 txt="BENCH_${label}.txt"
 json="BENCH_${label}.json"
+
+# Shard-scaling sweep (BENCH_3): the k=16 fat-tree permutation workload
+# at increasing shard counts. Mevents/simsec must not move across shard
+# counts — sharded runs are byte-identical to sequential, so it doubles
+# as a determinism canary. Mevents/wallsec is the scaling figure and is
+# only meaningful on a host with at least as many cores as shards;
+# single-core runs measure the epoch-barrier overhead instead.
+if [ "$label" = "shard-sweep" ]; then
+	txt="BENCH_3.txt"
+	json="BENCH_3.json"
+	go test -run '^$' -bench '^BenchmarkShardedFatTree$' -count=3 -timeout 60m . | tee "$txt"
+	go run ./cmd/benchjson -label shard-sweep -o "$json" "$txt"
+	echo "wrote $json"
+	exit 0
+fi
 
 # The headline benchmarks (telemetry-off and telemetry-on engine paths),
 # repeated for a distribution benchstat can consume. The -off figures are
