@@ -1,11 +1,16 @@
 // Command tfcvet is the repository's custom static-analysis gate: it
-// machine-checks the determinism, sim-time, and pool-lifetime contracts
-// every experiment result rests on (see DESIGN.md, "Determinism &
-// pooling contracts"). It runs four analyzers — detrand, simtime,
-// mapiter, poolsafe — in two modes:
+// machine-checks the determinism, sim-time, pool-lifetime, shard-safety,
+// zero-alloc, and probe-purity contracts every experiment result rests
+// on (see DESIGN.md, "Determinism & pooling contracts"). It runs eight
+// analyzers — the intra-procedural detrand, simtime, mapiter, poolsafe
+// and the call-graph-backed shardsafe, rankreq, hotalloc, probepure — in
+// two modes:
 //
 //	go vet -vettool=$(which tfcvet) ./...   # vet config protocol (CI)
-//	tfcvet ./...                            # standalone, no go vet
+//	tfcvet [-json] ./...                    # standalone, no go vet
+//
+// Standalone, -json renders the findings as a JSON array on stdout
+// (machine consumers; the GitHub problem matcher uses the plain form).
 //
 // Under go vet, the go command hands tfcvet one JSON config per package
 // with paths to gc export data, the same protocol
@@ -35,6 +40,16 @@ import (
 
 func main() {
 	args := os.Args[1:]
+	jsonOut := false
+	kept := args[:0:0]
+	for _, a := range args {
+		if a == "-json" || a == "--json" {
+			jsonOut = true
+			continue
+		}
+		kept = append(kept, a)
+	}
+	args = kept
 	for _, a := range args {
 		switch a {
 		case "-V=full", "-V":
@@ -56,11 +71,11 @@ func main() {
 	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
 		os.Exit(unitcheckerRun(args[0]))
 	}
-	os.Exit(standaloneRun(args))
+	os.Exit(standaloneRun(args, jsonOut))
 }
 
 func usage() {
-	fmt.Printf("usage: tfcvet [package dir | ./...]...\n\nanalyzers:\n")
+	fmt.Printf("usage: tfcvet [-json] [package dir | ./...]...\n\nanalyzers:\n")
 	for _, a := range analysis.All() {
 		fmt.Printf("  %-10s %s\n", a.Name, a.Doc)
 	}

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"fmt"
 	"io/fs"
 	"os"
@@ -12,13 +13,26 @@ import (
 	"tfcsim/internal/analysis/loader"
 )
 
+// jsonDiag is one finding in -json output: a flat, stable shape for
+// machine consumers (CI annotations, editors).
+type jsonDiag struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Check   string `json:"check"`
+	Message string `json:"message"`
+}
+
 // standaloneRun analyzes packages without go vet: it locates the
 // enclosing module, expands the argument patterns ("./..." subtrees or
 // plain package directories; no arguments means everything), and
 // type-checks from source via the loader. Slower than the vettool path
 // (the standard library is type-checked from source once per process)
 // but self-contained — handy for local runs and editor integration.
-func standaloneRun(args []string) int {
+// With jsonOut, findings accumulate into one JSON array on stdout
+// instead of the file:line:col lines; exit semantics are identical, so
+// scripted consumers can gate on status and parse stdout.
+func standaloneRun(args []string, jsonOut bool) int {
 	modDir, modPath, err := findModule()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "tfcvet: %v\n", err)
@@ -32,6 +46,7 @@ func standaloneRun(args []string) int {
 
 	ld := loader.New(loader.Config{ModulePath: modPath, ModuleDir: modDir})
 	exit := 0
+	jsonDiags := []jsonDiag{}
 	for _, dir := range dirs {
 		rel, err := filepath.Rel(modDir, dir)
 		if err != nil {
@@ -55,10 +70,28 @@ func standaloneRun(args []string) int {
 			continue
 		}
 		if len(diags) > 0 {
-			printDiags(pkg, diags)
+			if jsonOut {
+				for _, d := range diags {
+					pos := pkg.Fset.Position(d.Pos)
+					jsonDiags = append(jsonDiags, jsonDiag{
+						File: pos.Filename, Line: pos.Line, Col: pos.Column,
+						Check: d.Check, Message: d.Message,
+					})
+				}
+			} else {
+				printDiags(pkg, diags)
+			}
 			if exit == 0 {
 				exit = 2
 			}
+		}
+	}
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(jsonDiags); err != nil {
+			fmt.Fprintf(os.Stderr, "tfcvet: encoding json: %v\n", err)
+			return 1
 		}
 	}
 	return exit

@@ -83,9 +83,11 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
 }
 
-// All returns the full tfcvet analyzer suite in a stable order.
+// All returns the full tfcvet analyzer suite in a stable order: the four
+// intra-procedural v1 checkers followed by the four call-graph-backed v2
+// analyzers (see callgraph.go).
 func All() []*Analyzer {
-	return []*Analyzer{Detrand, Simtime, Mapiter, Poolsafe}
+	return []*Analyzer{Detrand, Simtime, Mapiter, Poolsafe, Shardsafe, Rankreq, Hotalloc, Probepure}
 }
 
 // Lookup returns the analyzer with the given name, or nil.

@@ -1,0 +1,131 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+// cgSrc exercises every edge kind the call graph claims: direct calls,
+// interface method-set resolution, reference-taken-implies-called, and
+// function literals attributed to their enclosing declaration.
+const cgSrc = `package p
+
+type hopper interface{ hop() }
+
+type evt struct{}
+
+func (e *evt) RunEvent() { helper(e) }
+
+func helper(h hopper) { h.hop() }
+
+func (e *evt) hop() { leaf() }
+
+func leaf() {}
+
+func cold() { leaf() }
+
+func refTaker() { _ = refTaken }
+
+func refTaken() {}
+
+func closes() {
+	f := func() { leaf() }
+	f()
+}
+`
+
+// cgTestPass type-checks cgSrc and wraps it in a Pass.
+func cgTestPass(t *testing.T) *Pass {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", cgSrc, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+	}
+	conf := types.Config{Importer: importer.Default()}
+	pkg, err := conf.Check("p", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	return &Pass{Fset: fset, Files: []*ast.File{f}, Pkg: pkg, TypesInfo: info}
+}
+
+func cgNodeByName(t *testing.T, g *callGraph, name string) *cgNode {
+	t.Helper()
+	for fn, n := range g.nodes {
+		if fn.Name() == name {
+			return n
+		}
+	}
+	t.Fatalf("no call-graph node named %s", name)
+	return nil
+}
+
+func TestCallGraphReachability(t *testing.T) {
+	pass := cgTestPass(t)
+	g := buildCallGraph(pass)
+
+	run := cgNodeByName(t, g, "RunEvent")
+	reach := g.reachableFrom([]*cgNode{run})
+
+	// RunEvent -> helper (direct) -> hop (interface resolution) -> leaf.
+	for _, name := range []string{"RunEvent", "helper", "hop", "leaf"} {
+		if !reach[cgNodeByName(t, g, name)] {
+			t.Errorf("%s should be reachable from RunEvent", name)
+		}
+	}
+	for _, name := range []string{"cold", "refTaker", "refTaken", "closes"} {
+		if reach[cgNodeByName(t, g, name)] {
+			t.Errorf("%s should NOT be reachable from RunEvent", name)
+		}
+	}
+}
+
+func TestCallGraphReferenceTaken(t *testing.T) {
+	pass := cgTestPass(t)
+	g := buildCallGraph(pass)
+
+	// A bare reference counts as a potential call: reachability analyses
+	// must not lose the target.
+	reach := g.reachableFrom([]*cgNode{cgNodeByName(t, g, "refTaker")})
+	if !reach[cgNodeByName(t, g, "refTaken")] {
+		t.Error("refTaken should be reachable via its taken reference")
+	}
+}
+
+func TestCallGraphFuncLitAttribution(t *testing.T) {
+	pass := cgTestPass(t)
+	g := buildCallGraph(pass)
+
+	// The literal inside closes calls leaf; the edge belongs to closes.
+	reach := g.reachableFrom([]*cgNode{cgNodeByName(t, g, "closes")})
+	if !reach[cgNodeByName(t, g, "leaf")] {
+		t.Error("leaf should be reachable from closes through its function literal")
+	}
+}
+
+func TestCallGraphMethodOf(t *testing.T) {
+	pass := cgTestPass(t)
+	g := buildCallGraph(pass)
+
+	evt := pass.Pkg.Scope().Lookup("evt").Type()
+	if got := g.methodOf(types.NewPointer(evt), "RunEvent"); got == nil || got.fn.Name() != "RunEvent" {
+		t.Errorf("methodOf(*evt, RunEvent) = %v, want the RunEvent node", got)
+	}
+	if got := g.methodOf(evt, "hop"); got == nil {
+		t.Error("methodOf(evt, hop) should resolve through the pointer method set")
+	}
+	if got := g.methodOf(evt, "missing"); got != nil {
+		t.Errorf("methodOf(evt, missing) = %v, want nil", got)
+	}
+}

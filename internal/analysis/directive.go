@@ -11,8 +11,9 @@ import (
 //
 //	//tfcvet:allow <check>[,<check>...] — <one-line justification>
 //
-// where <check> is an analyzer name (detrand, simtime, mapiter,
-// poolsafe) or a documented alias, and the justification is mandatory.
+// where <check> is an analyzer name (detrand, simtime, mapiter, poolsafe,
+// shardsafe, rankreq, hotalloc, probepure) or a documented alias, and the
+// justification is mandatory.
 // The separator may be an em-dash (—), "--", or a colon. A directive
 // suppresses matching diagnostics reported on its own line, or — when it
 // stands alone on a line — on the line directly below it.
@@ -53,13 +54,11 @@ func parseDirectives(fset *token.FileSet, files []*ast.File, known map[string]bo
 }
 
 func (idx *directiveIndex) add(fset *token.FileSet, f *ast.File, c *ast.Comment, known map[string]bool) {
-	rest := strings.TrimPrefix(c.Text, directivePrefix)
-	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
-		// e.g. //tfcvet:allowance — not our directive.
+	d := parseAllowDirective(c.Text, known)
+	if !d.applies {
 		return
 	}
-	checksPart, reason, ok := splitDirective(rest)
-	if !ok || strings.TrimSpace(reason) == "" {
+	if !d.ok {
 		idx.bad = append(idx.bad, Diagnostic{
 			Pos:     c.Pos(),
 			Check:   "directive",
@@ -67,21 +66,13 @@ func (idx *directiveIndex) add(fset *token.FileSet, f *ast.File, c *ast.Comment,
 		})
 		return
 	}
-	checks := make(map[string]bool)
-	for _, name := range strings.Split(checksPart, ",") {
-		name = strings.TrimSpace(name)
-		if alias, isAlias := directiveAliases[name]; isAlias {
-			name = alias
-		}
-		if !known[name] {
-			idx.bad = append(idx.bad, Diagnostic{
-				Pos:     c.Pos(),
-				Check:   "directive",
-				Message: "//tfcvet:allow names unknown check " + strconv.Quote(name),
-			})
-			return
-		}
-		checks[name] = true
+	if d.unknown != nil {
+		idx.bad = append(idx.bad, Diagnostic{
+			Pos:     c.Pos(),
+			Check:   "directive",
+			Message: "//tfcvet:allow names unknown check " + strconv.Quote(*d.unknown),
+		})
+		return
 	}
 
 	// The directive covers its own line when it trails code, otherwise
@@ -96,9 +87,64 @@ func (idx *directiveIndex) add(fset *token.FileSet, f *ast.File, c *ast.Comment,
 		set = make(map[string]bool)
 		idx.allowed[line] = set
 	}
-	for name := range checks {
+	for _, name := range d.checks {
 		set[name] = true
 	}
+}
+
+// parsedDirective is the outcome of parsing one comment's text as a
+// //tfcvet:allow directive — the pure half of directive handling, with
+// no positions or AST attached, so it can be fuzzed directly
+// (FuzzDirective).
+type parsedDirective struct {
+	// applies: the text is a tfcvet:allow directive at all (and not e.g.
+	// //tfcvet:allowance or an unrelated comment).
+	applies bool
+	// ok: well-formed — a separator with a non-empty justification.
+	ok bool
+	// checks are the alias-resolved check names, in written order,
+	// possibly with duplicates (the line index deduplicates).
+	checks []string
+	// unknown is the first check name not in known, nil if all resolve.
+	unknown *string
+	// reason is the trimmed justification (set when ok).
+	reason string
+}
+
+// parseAllowDirective parses comment text against the directive grammar
+//
+//	//tfcvet:allow <check>[,<check>...] — <one-line justification>
+//
+// with "—", "--", or ":" accepted as the separator and known as the set
+// of valid check names after alias resolution.
+func parseAllowDirective(text string, known map[string]bool) parsedDirective {
+	if !strings.HasPrefix(text, directivePrefix) {
+		return parsedDirective{}
+	}
+	rest := strings.TrimPrefix(text, directivePrefix)
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		// e.g. //tfcvet:allowance — not our directive.
+		return parsedDirective{}
+	}
+	d := parsedDirective{applies: true}
+	checksPart, reason, ok := splitDirective(rest)
+	if !ok || strings.TrimSpace(reason) == "" {
+		return d
+	}
+	d.ok = true
+	d.reason = strings.TrimSpace(reason)
+	for _, name := range strings.Split(checksPart, ",") {
+		name = strings.TrimSpace(name)
+		if alias, isAlias := directiveAliases[name]; isAlias {
+			name = alias
+		}
+		if !known[name] && d.unknown == nil {
+			bad := name
+			d.unknown = &bad
+		}
+		d.checks = append(d.checks, name)
+	}
+	return d
 }
 
 // splitDirective separates "<checks> — <reason>" accepting "—", "--",

@@ -1,0 +1,98 @@
+package analysis
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// FuzzDirective exercises the pure //tfcvet:allow text parser with
+// arbitrary comment text. The suppression grammar is the one interface
+// humans type by hand, so the parser must never panic and must uphold
+// its classification invariants on any input:
+//
+//   - only texts starting with the directive prefix (followed by a
+//     space, tab, or nothing) apply at all;
+//   - a well-formed directive always carries at least one check name
+//     and a non-empty justification;
+//   - check names come back trimmed, comma-free, and alias-resolved;
+//   - an unknown-check report really names a check outside the known
+//     set;
+//   - parsing is deterministic.
+func FuzzDirective(f *testing.F) {
+	// Valid spellings: each separator, lists, aliases, tab separation.
+	f.Add("//tfcvet:allow detrand — seeded once at startup")
+	f.Add("//tfcvet:allow simtime -- wall time never reaches results")
+	f.Add("//tfcvet:allow mapiter: keys sorted on the line below")
+	f.Add("//tfcvet:allow poolsafe,hotalloc — ownership transfer; amortized growth")
+	f.Add("//tfcvet:allow wallclock — alias for detrand")
+	f.Add("//tfcvet:allow\tshardsafe — tab after the prefix")
+	// Malformed and near-miss spellings.
+	f.Add("//tfcvet:allow")
+	f.Add("//tfcvet:allow detrand")
+	f.Add("//tfcvet:allow — reason but no check")
+	f.Add("//tfcvet:allow nosuchcheck — bogus name")
+	f.Add("//tfcvet:allow detrand — ")
+	f.Add("//tfcvet:allowance — different word entirely")
+	f.Add("// ordinary comment")
+	f.Add("")
+	f.Add("//tfcvet:allow ,,,: commas only")
+	f.Add("//tfcvet:allow detrand—no space around the dash")
+
+	known := make(map[string]bool)
+	for _, a := range All() {
+		known[a.Name] = true
+	}
+
+	f.Fuzz(func(t *testing.T, text string) {
+		d := parseAllowDirective(text, known)
+		again := parseAllowDirective(text, known)
+		if !reflect.DeepEqual(d, again) {
+			t.Fatalf("non-deterministic parse of %q: %+v vs %+v", text, d, again)
+		}
+
+		if !strings.HasPrefix(text, directivePrefix) {
+			if d.applies {
+				t.Fatalf("%q lacks the directive prefix but applies", text)
+			}
+		}
+		if !d.applies {
+			if d.ok || d.checks != nil || d.unknown != nil || d.reason != "" {
+				t.Fatalf("non-applying parse of %q carries payload: %+v", text, d)
+			}
+			return
+		}
+		if !d.ok {
+			// Malformed: no separator or an empty justification. Nothing
+			// else may be populated — the caller reports one diagnostic.
+			if d.checks != nil || d.unknown != nil || d.reason != "" {
+				t.Fatalf("malformed parse of %q carries payload: %+v", text, d)
+			}
+			return
+		}
+		if len(d.checks) == 0 {
+			t.Fatalf("well-formed parse of %q has no checks", text)
+		}
+		if d.reason == "" || d.reason != strings.TrimSpace(d.reason) {
+			t.Fatalf("well-formed parse of %q has reason %q", text, d.reason)
+		}
+		for _, name := range d.checks {
+			if name != strings.TrimSpace(name) || strings.Contains(name, ",") {
+				t.Fatalf("check %q of %q is not a trimmed single name", name, text)
+			}
+			if _, isAlias := directiveAliases[name]; isAlias {
+				t.Fatalf("check %q of %q survived alias resolution", name, text)
+			}
+		}
+		if d.unknown != nil && known[*d.unknown] {
+			t.Fatalf("parse of %q reports known check %q as unknown", text, *d.unknown)
+		}
+		if d.unknown == nil {
+			for _, name := range d.checks {
+				if !known[name] {
+					t.Fatalf("parse of %q kept unknown check %q without reporting it", text, name)
+				}
+			}
+		}
+	})
+}

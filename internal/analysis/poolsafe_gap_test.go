@@ -1,0 +1,20 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"tfcsim/internal/analysis"
+	"tfcsim/internal/analysis/analysistest"
+)
+
+// TestPoolsafeGap ratchets the known-false-negative corpus: every
+// function in the poolsafe_gap fixture contains a real pool-lifetime bug
+// that poolsafe's intra-procedural, alias-unaware design deliberately
+// misses, and the fixture carries zero // want annotations — so this
+// test fails the moment the analyzer starts catching one of them. That
+// is the signal to move the case into the poolsafe fixture with a want
+// annotation, keeping the documented boundary honest in both directions.
+func TestPoolsafeGap(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), analysis.Poolsafe,
+		"poolsafe_gap")
+}

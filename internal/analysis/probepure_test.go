@@ -1,0 +1,19 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"tfcsim/internal/analysis"
+	"tfcsim/internal/analysis/analysistest"
+)
+
+// TestProbepure proves the probepure analyzer holds probe context —
+// interface implementations, *Probe-named factories, and everything
+// they reach — to the read-only observer contract: no simulation-state
+// writes, no scheduling, no Rand draws; a probe's own counters and the
+// read-only accessor allowlist stay legal, as do wiring code and
+// annotated sites.
+func TestProbepure(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), analysis.Probepure,
+		"probepure")
+}

@@ -1,0 +1,139 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Rankreq enforces the delivery-ordering contract behind the byte-
+// identical sharding guarantee (DESIGN.md §10): simultaneous packet
+// arrivals at a node are arbitrated by port rank — the port's stable
+// creation index — so the sequential and partitioned engines break the
+// tie identically. An event class that models a link delivery (its
+// RunEvent hands a packet to netsim.Node.Receive or netsim.Endpoint.
+// Deliver) must therefore be scheduled with an explicit rank: through
+// sim.Simulator.ScheduleAfterRank or sim.Group.Post with a rank other
+// than sim.NeutralRank. Scheduling such an event neutrally compiles,
+// runs, and produces correct-looking results — until two deliveries
+// share a timestamp and the -shards 1 vs N comparison diverges.
+//
+// Classification is interprocedural on the per-package call graph: a
+// concrete type is a delivery class when its RunEvent transitively
+// reaches a Receive/Deliver call resolved to package netsim. The
+// analyzer then flags every scheduling site that submits a delivery
+// class neutrally:
+//
+//   - Schedule/ScheduleAfter (rank is implicitly NeutralRank);
+//   - ScheduleAfterRank or Group.Post with a constant NeutralRank rank.
+//
+// A non-constant rank argument is accepted as intentional, and targets
+// whose static type is an interface are skipped — the analyzer only
+// judges types it can see the RunEvent of. The check runs in every
+// package, so out-of-tree transports registered with the transport
+// registry are held to the same contract as the in-tree ones.
+var Rankreq = &Analyzer{
+	Name: "rankreq",
+	Doc:  "flag link-delivery event classes scheduled with NeutralRank instead of an explicit port rank",
+	Run:  runRankreq,
+}
+
+// neutralRank mirrors sim.NeutralRank; keeping the literal here avoids a
+// framework dependency on the simulator package.
+const neutralRank = -1
+
+// rankreqSinkNames are the netsim methods that constitute a delivery.
+var rankreqSinkNames = map[string]bool{"Receive": true, "Deliver": true}
+
+func runRankreq(pass *Pass) error {
+	g := buildCallGraph(pass)
+	delivers := make(map[*cgNode]int8) // memo: 0 unknown, 1 yes, 2 no
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, isCall := n.(*ast.CallExpr)
+			if !isCall {
+				return true
+			}
+			rankreqCheckCall(pass, g, delivers, call)
+			return true
+		})
+	}
+	return nil
+}
+
+// rankreqCheckCall flags call if it neutrally schedules a delivery
+// class.
+func rankreqCheckCall(pass *Pass, g *callGraph, delivers map[*cgNode]int8, call *ast.CallExpr) {
+	fn, isMethod := isMethodCall(pass, call)
+	if !isMethod || fn.Pkg() == nil || fn.Pkg().Path() != simPkgPath {
+		return
+	}
+	var tgtIdx, rankIdx int
+	switch fn.Name() {
+	case "Schedule", "ScheduleAfter":
+		tgtIdx, rankIdx = 1, -1
+	case "ScheduleAfterRank":
+		tgtIdx, rankIdx = 1, 2
+	case "Post":
+		tgtIdx, rankIdx = 5, 4
+	default:
+		return
+	}
+	if tgtIdx >= len(call.Args) {
+		return
+	}
+	if rankIdx >= 0 {
+		if rankIdx >= len(call.Args) {
+			return
+		}
+		v, isConst := constIntValue(pass, call.Args[rankIdx])
+		if !isConst || v != neutralRank {
+			return // explicit rank, or dynamic — intentional
+		}
+	}
+	tgtType := pass.TypesInfo.TypeOf(call.Args[tgtIdx])
+	if tgtType == nil {
+		return
+	}
+	if _, isIface := tgtType.Underlying().(*types.Interface); isIface {
+		return // can't see the concrete RunEvent
+	}
+	run := g.methodOf(tgtType, "RunEvent")
+	if run == nil || !rankreqDelivers(g, delivers, run) {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"%s schedules a link-delivery event (%s reaches a netsim delivery) with NeutralRank; deliveries must carry the port's rank (ScheduleAfterRank / Group.Post) so simultaneous arrivals arbitrate identically under sharding",
+		callName(call), types.TypeString(tgtType, types.RelativeTo(pass.Pkg))+".RunEvent")
+}
+
+// rankreqDelivers reports (memoized) whether run's reachable set calls a
+// netsim Receive/Deliver.
+func rankreqDelivers(g *callGraph, memo map[*cgNode]int8, run *cgNode) bool {
+	if v, known := memo[run]; known {
+		return v == 1
+	}
+	found := false
+	for n := range g.reachableFrom([]*cgNode{run}) {
+		if found {
+			break
+		}
+		ast.Inspect(n.decl.Body, func(x ast.Node) bool {
+			call, isCall := x.(*ast.CallExpr)
+			if !isCall || found {
+				return !found
+			}
+			callee := calleeFunc(g.pass, call)
+			if callee != nil && rankreqSinkNames[callee.Name()] &&
+				callee.Pkg() != nil && callee.Pkg().Path() == packetPkgPath {
+				found = true
+			}
+			return !found
+		})
+	}
+	if found {
+		memo[run] = 1
+	} else {
+		memo[run] = 2
+	}
+	return found
+}

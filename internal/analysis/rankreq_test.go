@@ -1,0 +1,20 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"tfcsim/internal/analysis"
+	"tfcsim/internal/analysis/analysistest"
+)
+
+// TestRankreq proves the rankreq analyzer classifies delivery event
+// types interprocedurally (RunEvent reaching netsim Receive/Deliver) and
+// flags every neutral-rank scheduling shape — Schedule, ScheduleAfter,
+// constant NeutralRank through ScheduleAfterRank and Group.Post — while
+// accepting explicit and dynamic ranks, non-delivery events, interface-
+// typed targets, and annotated sites. The fixture lives at an
+// unrestricted import path: the check covers out-of-tree transports.
+func TestRankreq(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), analysis.Rankreq,
+		"rankreq")
+}

@@ -1,0 +1,19 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"tfcsim/internal/analysis"
+	"tfcsim/internal/analysis/analysistest"
+)
+
+// TestShardsafe proves the shardsafe analyzer flags event-reachable
+// cross-shard writes, foreign-Simulator scheduling, and mutating calls
+// across the Port.Peer boundary — interprocedurally — while leaving
+// identity reads, Group.Post, setup code, and annotated sites alone.
+// The fixture shadows the real tfcsim/internal/bfc import path to land
+// inside the analyzer's package scope.
+func TestShardsafe(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), analysis.Shardsafe,
+		"tfcsim/internal/bfc")
+}

@@ -8,9 +8,11 @@ import (
 )
 
 // TestSimtime proves the simtime analyzer forbids package time inside
-// the simulation boundary (the fixture shadows the real
-// tfcsim/internal/faults import path) and ignores packages outside it.
+// the simulation boundary (the fixtures shadow the real
+// tfcsim/internal/{faults,model,workload} import paths — the latter two
+// joined the boundary in tfcvet v2) and ignores packages outside it.
 func TestSimtime(t *testing.T) {
 	analysistest.Run(t, analysistest.TestData(), analysis.Simtime,
-		"tfcsim/internal/faults", "simtime_outside")
+		"tfcsim/internal/faults", "tfcsim/internal/model",
+		"tfcsim/internal/workload", "simtime_outside")
 }

@@ -1,0 +1,77 @@
+// Package poolsafe_gap is the known-false-negative corpus for the
+// poolsafe analyzer: every function here has a real pool-lifetime bug
+// that the intra-procedural, alias-unaware design documented on
+// poolsafe.go deliberately does not catch. The companion test asserts
+// ZERO diagnostics — it is a ratchet, not a wishlist. If a future
+// poolsafe (or a call-graph-backed successor, see callgraph.go) starts
+// catching one of these, the test fails, and the case graduates into the
+// poolsafe fixture with a // want annotation.
+//
+// tfcvet v2's call-graph layer (shardsafe, rankreq, hotalloc, probepure)
+// closes the *reachability* half of this gap — obligations now follow
+// call edges — but poolsafe's released-variable state is still
+// per-function and per-variable, which is what these cases exploit.
+package poolsafe_gap
+
+import "tfcsim/internal/netsim"
+
+// aliasRelease: the release happens through alias q, so variable p is
+// never marked released. Alias-unaware by design (no points-to
+// analysis); the pooled read of p.Seq is a real use-after-release.
+func aliasRelease(net *netsim.Network) int64 {
+	p := net.NewPacket()
+	q := p
+	net.ReleasePacket(q)
+	return p.Seq
+}
+
+// helperRelease: the release is one call deep. poolsafe's released-state
+// tracking is intra-procedural, so the use after discard(...) is not
+// seen. The v2 call graph could carry a "releases its argument" summary
+// per function; until it does, this documents the boundary.
+func helperRelease(net *netsim.Network) int64 {
+	p := net.NewPacket()
+	discard(net, p)
+	return p.Ack
+}
+
+func discard(net *netsim.Network, p *netsim.Packet) {
+	net.ReleasePacket(p)
+}
+
+// bothArmsRelease: every path through the if releases p, but poolsafe
+// gives each branch a private copy of the released state precisely so
+// one-arm releases do not poison the merge — the price is missing the
+// released-on-every-arm case.
+func bothArmsRelease(net *netsim.Network, fast bool) int64 {
+	p := net.NewPacket()
+	if fast {
+		net.ReleasePacket(p)
+	} else {
+		net.ReleasePacket(p)
+	}
+	return p.Seq
+}
+
+// loopCarried: the release in iteration i is followed by a use in
+// iteration i+1. The straight-line walk sees the use before the release
+// inside one iteration and does not model the back edge.
+func loopCarried(net *netsim.Network, n int) int64 {
+	var sum int64
+	p := net.NewPacket()
+	for i := 0; i < n; i++ {
+		sum += p.Seq
+		net.ReleasePacket(p)
+	}
+	return sum
+}
+
+// escapedThenReleased: the packet is published through a channel and
+// released afterwards; the concurrent reader races the recycle.
+// Retention via channel send is not one of poolsafe's retention shapes
+// (field/element/composite/append).
+func escapedThenReleased(net *netsim.Network, ch chan *netsim.Packet) {
+	p := net.NewPacket()
+	ch <- p
+	net.ReleasePacket(p)
+}

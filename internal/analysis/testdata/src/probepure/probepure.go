@@ -1,0 +1,71 @@
+// Package probepure is an analysistest fixture for the probepure
+// analyzer: telemetry sinks implementing the netsim.Probe observer
+// interface, plus the factory pattern (a *Probe method returning the
+// closure that becomes the installed probe body).
+package probepure
+
+import (
+	"math/rand"
+
+	"tfcsim/internal/netsim"
+	"tfcsim/internal/sim"
+)
+
+// countProbe implements netsim.Probe (root via the interface and the
+// receiver name): it must observe without touching the simulation.
+type countProbe struct {
+	enq   int64
+	drops int64
+	hist  []int
+}
+
+func (c *countProbe) PortEnqueue(p *netsim.Port, pkt *netsim.Packet) {
+	c.enq++ // a probe owns its counters
+	c.hist = append(c.hist, p.QueueBytes())
+	p.EnqPackets++           // want "probe code in PortEnqueue writes simulation state"
+	p.Enqueue(pkt)           // want "probe code in PortEnqueue calls p.Enqueue"
+	p.Sim().Schedule(0, nil) // want "probe code in PortEnqueue schedules an event"
+	_ = p.Sim().Rand()       // want "probe code in PortEnqueue obtains a simulation Rand stream"
+	_ = rand.Intn(4)         // want "probe code in PortEnqueue touches math/rand"
+	c.note(p)
+}
+
+func (c *countProbe) PortDrop(p *netsim.Port, pkt *netsim.Packet) {
+	c.drops++
+	_ = pkt.FrameBytes() // value-receiver-free read accessor: fine
+}
+
+// note is reachable from a probe root: the purity obligation follows the
+// call graph.
+func (c *countProbe) note(p *netsim.Port) {
+	p.QBytes = 0 // want "probe code in note writes simulation state"
+}
+
+// Tracker shows the factory pattern: MarkProbe's returned closure is the
+// probe body, and function literals are attributed to their enclosing
+// declaration.
+type Tracker struct{ marks int64 }
+
+func (t *Tracker) MarkProbe() func(p *netsim.Port) {
+	return func(p *netsim.Port) {
+		t.marks++
+		p.EnqPackets = 0 // want "probe code in MarkProbe writes simulation state"
+	}
+}
+
+// install is ordinary wiring code, not probe context: it may mutate
+// freely.
+func install(n *netsim.Network, p *netsim.Port, s *sim.Simulator) {
+	p.EnqPackets = 0
+	s.Schedule(0, nil)
+}
+
+// annotated shows the escape hatch.
+type flushProbe struct{ port *netsim.Port }
+
+func (f *flushProbe) PortEnqueue(p *netsim.Port, pkt *netsim.Packet) {
+	//tfcvet:allow probepure — fixture: debug probe variant that intentionally resets the port counter
+	p.EnqPackets = 0
+}
+
+func (f *flushProbe) PortDrop(p *netsim.Port, pkt *netsim.Packet) {}

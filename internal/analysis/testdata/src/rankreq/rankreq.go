@@ -1,0 +1,58 @@
+// Package rankreq is an analysistest fixture for the rankreq analyzer:
+// an out-of-tree transport (the check runs in every package, registry
+// entries included) whose delivery events must carry an explicit rank.
+package rankreq
+
+import (
+	"tfcsim/internal/netsim"
+	"tfcsim/internal/sim"
+)
+
+// deliverEvt models a link delivery: its RunEvent hands a packet to a
+// netsim node, so scheduling it neutrally breaks the sharded tie-break.
+type deliverEvt struct {
+	to   netsim.Node
+	from *netsim.Port
+	pkt  *netsim.Packet
+}
+
+func (e *deliverEvt) RunEvent() { e.to.Receive(e.pkt, e.from) }
+
+// endpointEvt reaches the delivery sink one call deeper, through
+// Endpoint.Deliver — classification is interprocedural.
+type endpointEvt struct {
+	ep  netsim.Endpoint
+	pkt *netsim.Packet
+}
+
+func (e *endpointEvt) RunEvent() { e.handoff() }
+
+func (e *endpointEvt) handoff() { e.ep.Deliver(e.pkt) }
+
+// creditEvt is not a delivery: its RunEvent only updates transport
+// state, so neutral scheduling is fine.
+type creditEvt struct{ tokens int64 }
+
+func (e *creditEvt) RunEvent() { e.tokens++ }
+
+func schedule(s *sim.Simulator, g *sim.Group, d *deliverEvt, ep *endpointEvt, c *creditEvt, rank int32) {
+	s.Schedule(10, d)                          // want "Schedule schedules a link-delivery event"
+	s.ScheduleAfter(5, d)                      // want "ScheduleAfter schedules a link-delivery event"
+	s.ScheduleAfterRank(5, d, sim.NeutralRank) // want "ScheduleAfterRank schedules a link-delivery event"
+	s.ScheduleAfterRank(5, ep, -1)             // want "ScheduleAfterRank schedules a link-delivery event"
+	g.Post(0, 1, 10, 5, sim.NeutralRank, d)    // want "Post schedules a link-delivery event"
+	s.ScheduleAfterRank(5, d, 3)               // explicit constant rank
+	s.ScheduleAfterRank(5, d, rank)            // dynamic rank: intentional
+	g.Post(0, 1, 10, 5, rank, d)               // dynamic rank through the mailbox
+	s.Schedule(10, c)                          // not a delivery class
+	s.ScheduleAfter(5, c)                      // not a delivery class
+	var tgt sim.EventTarget = d
+	s.Schedule(10, tgt) // interface-typed target: concrete RunEvent not visible
+}
+
+// annotated shows the escape hatch for a delivery that is provably
+// alone at its timestamp.
+func annotated(s *sim.Simulator, d *deliverEvt) {
+	//tfcvet:allow rankreq — fixture: control-plane injection at a timestamp no data event shares
+	s.Schedule(10, d)
+}

@@ -1,0 +1,73 @@
+// Package bfc is an analysistest fixture for the shardsafe analyzer.
+// Its import path (tfcsim/internal/bfc) sits inside the shard-safety
+// boundary, so event-reachable code that mutates or schedules across
+// the Port.Peer ownership line must be flagged.
+package bfc
+
+import (
+	"tfcsim/internal/netsim"
+	"tfcsim/internal/sim"
+)
+
+// drainEvt is an event whose RunEvent crosses the shard boundary in
+// every forbidden way.
+type drainEvt struct {
+	port *netsim.Port
+	g    *sim.Group
+	n    int64
+}
+
+func (e *drainEvt) RunEvent() {
+	p := e.port
+	peer := p.Peer                          // taint source: the far side of the link
+	peer.Receive(nil, p)                    // want "Receive may mutate another shard's entity"
+	peer.Sim().Schedule(0, e)               // want "Schedule schedules on another shard's Simulator"
+	p.Peer.Sim().ScheduleAfterRank(1, e, 0) // want "ScheduleAfterRank schedules on another shard's Simulator"
+	e.crossWrite(p)
+	e.sameShard(p, e.g)
+	e.launder(p)
+}
+
+// crossWrite is only reachable from RunEvent — the taint pass still runs
+// on it because reachability is interprocedural. A type assertion
+// narrows the type, not the ownership.
+func (e *drainEvt) crossWrite(p *netsim.Port) {
+	far, ok := p.Peer.(*netsim.Host)
+	if ok {
+		far.RxCount++ // want "write to another shard's entity"
+	}
+}
+
+// sameShard shows the approved shapes: reads of foreign identity and the
+// Group.Post mailbox are clean.
+func (e *drainEvt) sameShard(p *netsim.Port, g *sim.Group) {
+	id := p.Peer.ID() // reads are fine: identity feeds the mailbox
+	g.Post(0, id, 10, 0, 3, e)
+	p.EnqPackets++ // own-side port state: untainted
+}
+
+// launder documents the pass's known false negative: a plain function's
+// result is conservatively clean, so routing a foreign value through one
+// drops the taint. Kept here (unflagged) as the boundary of the check.
+func (e *drainEvt) launder(p *netsim.Port) {
+	h := identity(p.Peer).(*netsim.Host)
+	h.RxCount++
+}
+
+func identity(n netsim.Node) netsim.Node { return n }
+
+// setup is not reachable from any event root, so topology wiring may
+// touch Peer freely.
+func setup(p *netsim.Port, peer netsim.Node) {
+	p.Peer = peer
+	p.Peer.Receive(nil, p)
+}
+
+// annotatedEvt shows the escape hatch for sites the engine guarantees
+// are shard-local.
+type annotatedEvt struct{ port *netsim.Port }
+
+func (e *annotatedEvt) RunEvent() {
+	//tfcvet:allow shardsafe — fixture: delivery runs on the receiving shard by construction
+	e.port.Peer.Receive(nil, e.port)
+}

@@ -1,0 +1,17 @@
+// Package model is an analysistest fixture for the simtime analyzer.
+// Its import path (tfcsim/internal/model) joined the simulation boundary
+// in tfcvet v2: analytic models are evaluated on simulated quantities,
+// so wall-clock types must not leak in.
+package model
+
+import "time"
+
+func bad() {
+	var d time.Duration // want "uses time.Duration"
+	_ = d
+	_ = time.Now() // want "uses time.Now"
+}
+
+// queueDelay shows the approved shape: durations as plain sim-clock
+// integers.
+func queueDelay(bytes, rate int64) int64 { return bytes / rate }

@@ -1,0 +1,60 @@
+// Package sim is a fixture stub standing in for the real
+// tfcsim/internal/sim: the shardsafe, rankreq, and probepure analyzers
+// identify scheduling entry points by this package path and these method
+// names, so the stub lets the fixtures exercise them hermetically
+// (analysistest source roots shadow the module). Signatures mirror the
+// real ones — rankreq locates the target and rank by argument index.
+package sim
+
+// Time is simulated time.
+type Time int64
+
+// NeutralRank mirrors the real dispatcher's "no rank" sentinel.
+const NeutralRank int32 = -1
+
+// EventTarget is the allocation-free event callback.
+type EventTarget interface {
+	RunEvent()
+}
+
+// Timer is a handle to a scheduled event.
+type Timer struct{}
+
+// Stop cancels the timer.
+func (Timer) Stop() bool { return false }
+
+// Simulator mirrors the real event engine's scheduling surface.
+type Simulator struct{ now Time }
+
+// Now returns the current simulated time.
+func (s *Simulator) Now() Time { return s.now }
+
+// At schedules fn at absolute time t.
+func (s *Simulator) At(t Time, fn func()) Timer { return Timer{} }
+
+// After schedules fn after delay d.
+func (s *Simulator) After(d Time, fn func()) Timer { return Timer{} }
+
+// Schedule schedules tgt at absolute time t with NeutralRank.
+func (s *Simulator) Schedule(t Time, tgt EventTarget) Timer { return Timer{} }
+
+// ScheduleAfter schedules tgt after delay d with NeutralRank.
+func (s *Simulator) ScheduleAfter(d Time, tgt EventTarget) Timer { return Timer{} }
+
+// ScheduleAfterRank schedules tgt after delay d with an explicit rank.
+func (s *Simulator) ScheduleAfterRank(d Time, tgt EventTarget, rank int32) Timer { return Timer{} }
+
+// Group mirrors the sharded dispatcher's mailbox surface.
+type Group struct{}
+
+// Post hands tgt to dst's shard via the epoch mailbox.
+func (g *Group) Post(src, dst int, at, schedAt Time, rank int32, tgt EventTarget) {}
+
+// Rand mirrors the deterministic per-trial stream accessor.
+func (s *Simulator) Rand() *RandStream { return &RandStream{} }
+
+// RandStream is a stand-in for *rand.Rand drawn from the trial seed.
+type RandStream struct{}
+
+// Intn consumes one draw.
+func (r *RandStream) Intn(n int) int { return 0 }

@@ -1,0 +1,18 @@
+// Package workload is an analysistest fixture for the simtime analyzer.
+// Its import path (tfcsim/internal/workload) joined the simulation
+// boundary in tfcvet v2: arrival processes and flow-size draws are
+// scheduled on the virtual clock, so wall-clock types must not leak in.
+package workload
+
+import "time"
+
+func bad() {
+	_ = 3 * time.Second // want "uses time.Second"
+	var t time.Time     // want "uses time.Time"
+	_ = t
+}
+
+func annotated() {
+	//tfcvet:allow simtime — fixture: boundary interop with a wall-clock trace format
+	_ = time.Millisecond
+}

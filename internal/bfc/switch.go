@@ -151,6 +151,7 @@ func (h *Hook) OnEnqueue(pkt *netsim.Packet, port *netsim.Port) bool {
 	}
 	h.drainFree += port.Rate.TxTime(pkt.WireBytes())
 	flow := pkt.Flow
+	//tfcvet:allow hotalloc — per-packet drain timer closure: BFC is a comparison baseline outside the BENCH_2 alloc gate (which certifies the TFC forwarding path)
 	h.sim.At(h.drainFree, func() { h.drain(flow, int64(fb)) })
 	return true
 }

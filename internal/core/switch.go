@@ -466,7 +466,7 @@ func (st *PortState) handleRMA(pkt *netsim.Packet, out *netsim.Port) bool {
 		st.counter -= mss
 		return false
 	}
-	//tfcvet:allow poolsafe — deliberate ownership transfer: returning true tells the switch the ACK is held; onRelease later re-injects it
+	//tfcvet:allow poolsafe,hotalloc — deliberate ownership transfer (returning true tells the switch the ACK is held; onRelease re-injects it), and the hold queue drains by truncation so its backing array amortizes to steady capacity
 	st.delayQ = append(st.delayQ, heldAck{pkt, out})
 	st.DelayedAcks++
 	if st.cfg.Probe != nil {

@@ -107,6 +107,7 @@ func (r *Receiver) stop() {
 
 func (r *Receiver) scheduleEpoch() {
 	r.epochTimer.Stop()
+	//tfcvet:allow hotalloc — one closure per credit epoch (a control-plane cadence, ~RTT apart), not per packet; ExpressPass is a baseline outside the BENCH_2 gate
 	r.epochTimer = r.cfg.Sim.After(r.cfg.Epoch, func() {
 		if !r.crediting {
 			return
@@ -281,7 +282,7 @@ func (sh *Shaper) Intercept(pkt *netsim.Packet, out *netsim.Port, sw *netsim.Swi
 		out.ReleasePacket(pkt) // credit shaped away
 		return true
 	}
-	//tfcvet:allow poolsafe — deliberate ownership transfer: returning true tells the switch the credit is held; scheduleRelease later re-injects it
+	//tfcvet:allow poolsafe,hotalloc — deliberate ownership transfer (returning true tells the switch the credit is held; scheduleRelease re-injects it), and the shaper queue is drained by truncation so its backing array amortizes to steady capacity
 	b.queue = append(b.queue, heldCredit{pkt, out})
 	sh.Queued++
 	sh.scheduleRelease(b)
@@ -309,6 +310,7 @@ func (sh *Shaper) scheduleRelease(b *bucket) {
 	if d < 1 {
 		d = 1
 	}
+	//tfcvet:allow hotalloc — one closure per pacing-timer arm (rate-limited by the token bucket), not per packet; ExpressPass is a baseline outside the BENCH_2 gate
 	b.release = sh.s.After(d, func() { sh.onRelease(b) })
 }
 

@@ -261,6 +261,7 @@ func (h *Host) SetPaused(paused bool) {
 // until resume.
 func (h *Host) Receive(pkt *Packet, from *Port) {
 	if h.paused {
+		//tfcvet:allow poolsafe,hotalloc — the pause buffer takes ownership until resume re-injects, and it only grows while a fault holds the host paused, never in steady state
 		h.held = append(h.held, pkt)
 		return
 	}
@@ -455,6 +456,7 @@ type portEvent struct {
 func (e *portEvent) RunEvent() {
 	p, pkt := e.port, e.pkt
 	e.port, e.pkt = nil, nil
+	//tfcvet:allow hotalloc — free-list push: newHostSend popped with truncation, so this append reuses the retained capacity (amortized pool growth)
 	p.sh.evFree = append(p.sh.evFree, e)
 	p.Enqueue(pkt)
 }

@@ -326,6 +326,7 @@ func (e *rxEvent) RunEvent() {
 	p.inFl[p.inFlHd] = nil
 	p.inFlHd = (p.inFlHd + 1) & (len(p.inFl) - 1)
 	p.inFlLen--
+	//tfcvet:allow shardsafe — rxEv only serves non-crossing links (finishTx routes p.cross through Group.Post), so Peer is always on this shard
 	p.Peer.Receive(pkt, p)
 }
 

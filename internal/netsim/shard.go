@@ -69,6 +69,7 @@ func (sh *netShard) release(p *Packet) {
 		return
 	}
 	*p = Packet{}
+	//tfcvet:allow hotalloc — free-list push: newPacket popped with truncation, so this append reuses the retained capacity (amortized pool growth)
 	sh.pktFree = append(sh.pktFree, p)
 }
 
@@ -105,7 +106,9 @@ func (e *crossRxEvent) RunEvent() {
 	p, pkt := e.p, e.pkt
 	e.p, e.pkt = nil, nil
 	sh := p.peerSh
+	//tfcvet:allow shardsafe,hotalloc — RunEvent executes on the receiving shard (the mailbox delivered it here), so peerSh IS this shard; the free-list append reuses truncation-retained capacity
 	sh.xFree = append(sh.xFree, e)
+	//tfcvet:allow shardsafe — same: the mailbox already moved execution to the peer's shard, so this delivery is shard-local
 	p.Peer.Receive(pkt, p)
 }
 

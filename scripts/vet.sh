@@ -4,7 +4,8 @@
 #   scripts/vet.sh
 #
 # Builds cmd/tfcvet (the custom analyzer suite: detrand, simtime, mapiter,
-# poolsafe), runs it over the whole module via `go vet -vettool`, then runs
+# poolsafe, plus the call-graph-backed shardsafe, rankreq, hotalloc,
+# probepure), runs it over the whole module via `go vet -vettool`, then runs
 # the standard go vet checks and gofmt. Any diagnostic fails the script.
 set -eu
 cd "$(dirname "$0")/.."
@@ -15,7 +16,7 @@ trap 'rm -rf "$(dirname "$tool")"' EXIT
 echo "==> build tfcvet"
 go build -o "$tool" ./cmd/tfcvet
 
-echo "==> tfcvet (determinism / sim-time / map-order / pool-lifetime)"
+echo "==> tfcvet (determinism / sim-time / map-order / pool-lifetime / shard-safety / rank / hot-alloc / probe-purity)"
 go vet -vettool="$tool" ./...
 
 echo "==> go vet (standard checks)"
