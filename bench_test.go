@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"runtime"
 	"testing"
+	"time"
 
 	"tfcsim/internal/exp"
 	"tfcsim/internal/netsim"
@@ -347,6 +348,61 @@ func BenchmarkEngineThroughputTelemetry(b *testing.B) {
 	b.ReportMetric(float64(allocs)/float64(winHops), "allocs/pkt-hop")
 }
 
+// BenchmarkEngineThroughputObs runs the telemetry scenario with the full
+// runtime observatory attached on top: every flow span-traced
+// (SpanEvery=1), invariant watchdogs armed, and the flight recorder
+// ring live (dumps disabled). The delta against
+// BenchmarkEngineThroughputTelemetry is the observatory's enabled-path
+// cost; scripts/bench.sh gates its allocs/pkt-hop at the telemetry-on
+// baseline (zero): spans write into the recorder's preallocated heap,
+// the flight ring is a fixed array, and watchdogs keep no per-event
+// state, so observation must not add a single steady-state allocation.
+// The HTTP endpoint is off, as in production runs without -http.
+func BenchmarkEngineThroughputObs(b *testing.B) {
+	b.ReportAllocs()
+	o := NewObservatory(ObsOptions{SpanEvery: 1, SpanSeed: 1, Watchdogs: true, FlightDir: "-"})
+	col := telemetry.NewCollector(telemetry.Options{})
+	o.Attach("bench", col)
+	var events, winEvents uint64
+	var winHops int64
+	var allocs uint64
+	var ms0, ms1 runtime.MemStats
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		tel := col.Trial(fmt.Sprintf("iter%06d", i))
+		s := NewSimulator(1)
+		tel.Bind(s)
+		net, h1, h2 := benchDumbbell(s)
+		telemetry.InstrumentNetwork(tel, net)
+		d := &Dialer{Sim: s, Proto: TCP, Probe: tel.DialProbe}
+		conn := d.Dial(h1, h2, nil, nil)
+		conn.Sender.Open()
+		conn.Sender.Send(1 << 30)
+		s.RunUntil(benchSettle)
+		s.Warm(4096, 1<<12)
+		net.Warm(1<<16, 1<<16)
+		o.Warm(1 << 16)
+		ev0, hops0 := s.Executed(), benchHops(net)
+		runtime.GC()
+		runtime.ReadMemStats(&ms0)
+		b.StartTimer()
+		s.RunUntil(benchEnd)
+		b.StopTimer()
+		runtime.ReadMemStats(&ms1)
+		allocs += ms1.Mallocs - ms0.Mallocs
+		events += s.Executed()
+		winEvents += s.Executed() - ev0
+		winHops += benchHops(net) - hops0
+		b.StartTimer()
+	}
+	b.StopTimer()
+	simsec := benchEnd.Seconds() * float64(b.N)
+	b.ReportMetric(float64(events)/simsec/1e6, "Mevents/simsec")
+	b.ReportMetric(float64(winEvents)/b.Elapsed().Seconds()/1e6, "Mevents/wallsec")
+	b.ReportMetric(float64(allocs)/float64(winHops), "allocs/pkt-hop")
+}
+
 // BenchmarkShardedFatTree drives the k=16 fat-tree permutation workload
 // through the conservative parallel engine at increasing shard counts —
 // the BENCH_3 artifact (scripts/bench.sh shard-sweep). Mevents/simsec is
@@ -354,12 +410,17 @@ func BenchmarkEngineThroughputTelemetry(b *testing.B) {
 // sequential, so the event count per simulated second cannot move with
 // the shard count. Mevents/wallsec is the scaling figure; the parallel
 // engine's epoch barriers are pure overhead on a single-core host, so
-// speedup only appears with at least as many cores as shards.
+// speedup only appears with at least as many cores as shards. The
+// injected wall clock (exp.PermutationConfig.Clock) turns on the group's
+// barrier/work attribution, so barrier_frac reports the share of shard
+// wall time stalled at epoch barriers — the self-profiling figure that
+// explains the scaling curve.
 func BenchmarkShardedFatTree(b *testing.B) {
 	for _, shards := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
 			var events uint64
 			var simsec float64
+			var barrierNs, shardNs float64
 			for i := 0; i < b.N; i++ {
 				cfg := exp.PermutationConfig{}
 				cfg.Proto = exp.TFC
@@ -368,12 +429,22 @@ func BenchmarkShardedFatTree(b *testing.B) {
 				cfg.Shards = shards
 				cfg.Warmup = sim.Millisecond
 				cfg.Duration = 5 * sim.Millisecond
+				cfg.Clock = func() int64 { return time.Now().UnixNano() }
 				r := exp.Permutation(cfg)
 				events += r.Events
 				simsec += cfg.Duration.Seconds()
+				if r.Group != nil {
+					for _, sh := range r.Group.PerShard {
+						barrierNs += float64(sh.BarrierNs)
+					}
+					shardNs += float64(r.Group.WindowNs) * float64(r.Group.Shards)
+				}
 			}
 			b.ReportMetric(float64(events)/simsec/1e6, "Mevents/simsec")
 			b.ReportMetric(float64(events)/b.Elapsed().Seconds()/1e6, "Mevents/wallsec")
+			if shardNs > 0 {
+				b.ReportMetric(barrierNs/shardNs, "barrier_frac")
+			}
 		})
 	}
 }

@@ -50,6 +50,14 @@ Flags for run/all:
   -csv DIR             export raw series/CDF data as CSV (fig06, fig08-10, fig12, fig13)
   -trace FILE          write a Chrome trace-event JSON of the run (Perfetto / chrome://tracing)
   -metrics FILE        write the run's metrics snapshot JSON (counters, gauges, histograms)
+  -http ADDR           serve a live introspection endpoint (JSON at /snapshot,
+                       auto-refreshing HTML at /) while the run executes
+  -spans N             sample 1-in-N flows for causal packet spans in the trace
+                       (requires -trace; byte-identical at any -j/-shards)
+  -watchdogs           enable invariant watchdogs (token conservation, zero-queueing,
+                       BFC pairing, RTO storms, shard liveness); violations print a
+                       diagnostic and write a flight-recorder dump
+  -flightdir DIR       directory for watchdog flight-recorder dumps (default .; - disables)
   -v                   print per-trial progress to stderr
   -cpuprofile FILE     write a CPU profile of the run (go tool pprof)
   -memprofile FILE     write a heap profile taken after the run
@@ -86,6 +94,10 @@ func main() {
 		csv := fs.String("csv", "", "export raw series/CDF data as CSV into this directory")
 		tracePath := fs.String("trace", "", "write Chrome trace-event JSON to this file")
 		metricsPath := fs.String("metrics", "", "write metrics snapshot JSON to this file")
+		httpAddr := fs.String("http", "", "serve the live introspection endpoint on this address")
+		spansEvery := fs.Int("spans", 0, "sample 1-in-N flows for causal packet spans (0 = off)")
+		watchdogs := fs.Bool("watchdogs", false, "enable invariant watchdogs")
+		flightDir := fs.String("flightdir", "", "flight-recorder dump directory (default .; - disables)")
 		verbose := fs.Bool("v", false, "print per-trial progress to stderr")
 		cpuprofile := fs.String("cpuprofile", "", "write CPU profile to this file")
 		memprofile := fs.String("memprofile", "", "write heap profile to this file")
@@ -157,6 +169,25 @@ func main() {
 				}
 				opts.Protos = append(opts.Protos, tfcsim.Proto(p))
 			}
+		}
+		if *httpAddr != "" || *spansEvery > 0 || *watchdogs {
+			if *spansEvery > 0 && *tracePath == "" {
+				fmt.Fprintln(os.Stderr, "tfcsim: -spans requires -trace (spans are recorded into the trace file)")
+				os.Exit(2)
+			}
+			o := tfcsim.NewObservatory(tfcsim.ObsOptions{
+				HTTPAddr:  *httpAddr,
+				SpanEvery: *spansEvery,
+				SpanSeed:  *seed,
+				Watchdogs: *watchdogs,
+				FlightDir: *flightDir,
+			})
+			if err := o.Start(); err != nil {
+				fmt.Fprintln(os.Stderr, "tfcsim: obs:", err)
+				os.Exit(1)
+			}
+			defer o.Stop()
+			opts.Obs = o
 		}
 		if *verbose {
 			opts.Progress = func(ev tfcsim.ProgressEvent) {

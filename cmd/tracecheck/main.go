@@ -1,7 +1,11 @@
 // Command tracecheck validates Chrome trace-event JSON files of the
 // shape tfcsim emits (and Perfetto / chrome://tracing load): an object
-// with a traceEvents array of well-formed M/X/i/C events. Used by CI to
-// gate the telemetry output schema.
+// with a traceEvents array of well-formed M/X/i/C events, trial keys
+// (process_name metadata) in sorted order, and — when the trace holds
+// causal packet spans (cat "span") — well-linked span chains: integer
+// seq/hop/parent args with parent = hop-1, monotone hop timestamps,
+// and every chain closed by a terminal hop. Used by CI to gate the
+// telemetry output schema.
 //
 // Usage:
 //
@@ -11,9 +15,11 @@
 package main
 
 import (
+	"bytes"
 	"fmt"
 	"os"
 
+	"tfcsim/internal/obs"
 	"tfcsim/internal/telemetry"
 )
 
@@ -24,15 +30,18 @@ func main() {
 	}
 	ok := true
 	for _, path := range os.Args[1:] {
-		f, err := os.Open(path)
+		b, err := os.ReadFile(path)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "tracecheck: %v\n", err)
 			ok = false
 			continue
 		}
-		err = telemetry.ValidateTrace(f)
-		f.Close()
-		if err != nil {
+		if err := telemetry.ValidateTrace(bytes.NewReader(b)); err != nil {
+			fmt.Fprintf(os.Stderr, "tracecheck: %s: %v\n", path, err)
+			ok = false
+			continue
+		}
+		if err := obs.ValidateSpans(bytes.NewReader(b)); err != nil {
 			fmt.Fprintf(os.Stderr, "tracecheck: %s: %v\n", path, err)
 			ok = false
 			continue

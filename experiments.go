@@ -10,6 +10,7 @@ import (
 
 	"tfcsim/internal/exp"
 	"tfcsim/internal/netsim"
+	"tfcsim/internal/obs"
 	"tfcsim/internal/runner"
 	"tfcsim/internal/sim"
 	"tfcsim/internal/telemetry"
@@ -63,6 +64,13 @@ type RunOptions struct {
 	// returned in Result.Telemetry. Nil (the default) disables
 	// instrumentation entirely.
 	Telemetry *telemetry.Options
+	// Obs, if set, attaches the runtime observatory to the run: the live
+	// introspection endpoint, causal packet spans, and the invariant
+	// watchdogs (see internal/obs). Works with or without Telemetry — when
+	// Telemetry is nil a silent collector is minted so the probe layer is
+	// live but no trace/metrics files are written. The observatory is a
+	// pure observer: results stay byte-identical with it on or off.
+	Obs *obs.Observatory
 	// Protos, when non-empty, overrides the protocol list of every
 	// experiment that compares protocols (fig08-10, fig12, fig13, fig15,
 	// fig16, fattree, churn, robustness, credit-baseline). Each name must
@@ -197,7 +205,13 @@ func (e Experiment) Run(ctx context.Context, opts RunOptions) (*Result, error) {
 	if opts.Telemetry != nil {
 		rc.tel = telemetry.NewCollector(*opts.Telemetry)
 		res.Telemetry = rc.tel
+	} else if opts.Obs != nil {
+		// The observatory rides on the telemetry probe layer: mint a silent
+		// collector (no output paths, so WriteFiles is a no-op) purely to
+		// carry the per-trial hooks.
+		rc.tel = telemetry.NewCollector(telemetry.Options{})
 	}
+	opts.Obs.Attach(e.Name, rc.tel)
 	start := time.Now() //tfcvet:allow wallclock — Result.Wall reports real elapsed time; it never feeds simulation state or CSV data
 	data, text, err := e.run(ctx, rc)
 	if err != nil {
@@ -206,6 +220,7 @@ func (e Experiment) Run(ctx context.Context, opts RunOptions) (*Result, error) {
 	if err := rc.tel.WriteFiles(); err != nil {
 		return nil, fmt.Errorf("tfcsim: %s: telemetry: %w", e.Name, err)
 	}
+	opts.Obs.FinishRun(e.Name)
 	res.Wall = time.Since(start) //tfcvet:allow wallclock — Result.Wall reports real elapsed time; it never feeds simulation state or CSV data
 	res.Data = data
 	res.Text = text

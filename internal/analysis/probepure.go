@@ -25,11 +25,16 @@ import (
 //     named *Probe defined in a tfcsim/internal package (imported or
 //     local);
 //   - methods whose receiver type name ends in Probe (telemetry's
-//     unexported netProbe/tfcProbe/... sinks);
+//     unexported netProbe/tfcProbe/... sinks) or Watchdog (obs's
+//     invariant predicates — they run inside probe callbacks and are
+//     held to the same contract);
 //   - declared functions/methods whose own name ends in Probe — the
 //     factories (telemetry.Trial.MarkProbe and friends) whose returned
 //     closures are the installed probe bodies; function literals are
-//     attributed to their enclosing declaration.
+//     attributed to their enclosing declaration — or in Snapshot (obs's
+//     state readers: they sample live simulator/port state and must be
+//     pure reads whether they run as virtual-time events or behind the
+//     HTTP endpoint).
 //
 // Within the per-package reachable set of those roots, the analyzer
 // flags:
@@ -69,6 +74,12 @@ var probepureReadonly = map[string]bool{
 	"Tokens": true, "EffectiveFlows": true, "Window": true, "MissK": true,
 	"Seconds": true, "Micros": true, "Millis": true, "Peer": true, "Owner": true,
 	"Lookahead": true, "Epochs": true,
+	// Self-profiling accessors: Group.Stats/Simulator.DispatchStats copy
+	// counters out; Pulse.Load is a lock-free atomic read of the progress
+	// mailbox.
+	"Stats": true, "DispatchStats": true, "Load": true,
+	// Packet.IsData reads the flags word.
+	"IsData": true,
 }
 
 func runProbepure(pass *Pass) error {
@@ -129,14 +140,15 @@ func probepureIsRoot(pass *Pass, fn *types.Func, ifaces []*types.Interface) bool
 			simRecv = probeStateScope.MatchString(named.Obj().Pkg().Path())
 		}
 	}
-	if strings.HasSuffix(fn.Name(), "Probe") && !simRecv {
+	if (strings.HasSuffix(fn.Name(), "Probe") || strings.HasSuffix(fn.Name(), "Snapshot")) && !simRecv {
 		return true
 	}
 	if recv == nil {
 		return false
 	}
 	if named := namedOf(recv.Type()); named != nil && !simRecv {
-		if strings.HasSuffix(strings.ToLower(named.Obj().Name()), "probe") {
+		low := strings.ToLower(named.Obj().Name())
+		if strings.HasSuffix(low, "probe") || strings.HasSuffix(low, "watchdog") {
 			return true
 		}
 	}
@@ -226,6 +238,15 @@ func probepureCheckCall(pass *Pass, decl *ast.FuncDecl, call *ast.CallExpr, simS
 	}
 	if probepureReadonly[fn.Name()] {
 		return
+	}
+	// Forwarding into another probe (telemetry sinks fan out to obs's
+	// TrialHooks.Net) is allowed: the callee implements a *Probe interface
+	// and is checked as a root itself.
+	if named := namedOf(pass.TypesInfo.TypeOf(recv)); named != nil {
+		if _, isIface := named.Underlying().(*types.Interface); isIface &&
+			strings.HasSuffix(named.Obj().Name(), "Probe") {
+			return
+		}
 	}
 	if sig, isSig := fn.Type().(*types.Signature); isSig {
 		if r := sig.Recv(); r != nil {

@@ -69,3 +69,39 @@ func (f *flushProbe) PortEnqueue(p *netsim.Port, pkt *netsim.Packet) {
 }
 
 func (f *flushProbe) PortDrop(p *netsim.Port, pkt *netsim.Packet) {}
+
+// tokenWatchdog mirrors obs's invariant predicates (root via the
+// receiver-name Watchdog suffix): a watchdog runs inside probe
+// callbacks on the forwarding path and must observe without touching
+// the simulation.
+type tokenWatchdog struct{ tripped bool }
+
+func (w *tokenWatchdog) check(p *netsim.Port) {
+	if w.tripped {
+		return
+	}
+	w.tripped = true // a watchdog owns its trip latch
+	if p.QueueBytes() > 0 {
+		p.QBytes = 0 // want "probe code in check writes simulation state"
+	}
+}
+
+// takeSnapshot mirrors obs's endpoint state readers (root via the
+// Snapshot name suffix): sampling live simulator state must be a pure
+// read whether it runs as a virtual-time event or behind HTTP.
+func takeSnapshot(p *netsim.Port, s *sim.Simulator) int {
+	s.After(1, nil) // want "probe code in takeSnapshot schedules an event"
+	return p.QueueBytes()
+}
+
+// chainProbe forwards into another probe: allowed — the callee is a
+// *Probe interface implementation held to the same contract as a root.
+type chainProbe struct{ next netsim.Probe }
+
+func (c *chainProbe) PortEnqueue(p *netsim.Port, pkt *netsim.Packet) {
+	if c.next != nil {
+		c.next.PortEnqueue(p, pkt)
+	}
+}
+
+func (c *chainProbe) PortDrop(p *netsim.Port, pkt *netsim.Packet) {}

@@ -47,6 +47,12 @@ type SwitchConfig struct {
 	// window stamps, delay-arbiter holds/grants). Disabled path is one
 	// nil-check per event; implementations must not mutate sim state.
 	Probe Probe
+
+	// TestTokenSkew, when nonzero, is added to the token value after every
+	// slot's clamping — a deliberately broken accounting used only by the
+	// observability tests to prove the token-conservation watchdog catches
+	// a real violation. Never set outside tests.
+	TestTokenSkew float64
 }
 
 // Probe observes TFC's control plane for the telemetry layer
@@ -353,6 +359,7 @@ func (st *PortState) endSlot(pkt *netsim.Packet) {
 	if minT := float64(st.cfg.MSS); st.t < minT {
 		st.t = minT
 	}
+	st.t += st.cfg.TestTokenSkew
 	// E is an integer count of marked packets, but its true value
 	// (eq. 1: sum of t/rtt_f) is fractional; with non-integer RTT ratios
 	// the per-slot count alternates (e.g. a flow with 1.5 rounds per slot

@@ -95,6 +95,12 @@ type PermutationConfig struct {
 	BufBytes int
 	Duration sim.Time
 	Warmup   sim.Time
+	// Clock, when set on a sharded run, feeds the engine group's
+	// self-profiling wall clock (sim.Group.SetClock) so the result's
+	// Group stats carry per-shard work/barrier nanoseconds. The sim
+	// package deliberately does not import time; callers inject e.g.
+	// time.Now().UnixNano. Nil leaves those columns zero.
+	Clock func() int64
 }
 
 // PermutationResult summarizes the permutation run.
@@ -107,6 +113,10 @@ type PermutationResult struct {
 	Drops      int64
 	MaxQueue   int    // worst port queue in the fabric
 	Events     uint64 // simulator events executed by this trial
+	// Group carries the sharded engine's self-profiling counters
+	// (epochs, ties, per-shard dispatch and barrier time); nil on
+	// sequential (unsharded) runs.
+	Group *sim.GroupStats
 }
 
 // SimEvents reports the trial's event count to the runner pool.
@@ -130,6 +140,9 @@ func Permutation(cfg PermutationConfig) PermutationResult {
 		cfg.Warmup = cfg.Duration / 3
 	}
 	ft := FatTree(cfg.TopoConfig, cfg.K, cfg.Rate, cfg.BufBytes)
+	if g := ft.Net.Group(); g != nil && cfg.Clock != nil {
+		g.SetClock(cfg.Clock)
+	}
 	// Cross-pod permutation: host i of pod p sends to host i of pod p+1.
 	var fs []*faucet
 	for p := 0; p < ft.K; p++ {
@@ -168,6 +181,10 @@ func Permutation(cfg PermutationConfig) PermutationResult {
 		}
 	}
 	res.Events = ft.Sim.Executed()
+	if g := ft.Net.Group(); g != nil {
+		gs := g.Stats()
+		res.Group = &gs
+	}
 	return res
 }
 

@@ -103,6 +103,12 @@ func TestPermutationShardedIdentical(t *testing.T) {
 		c := cfg
 		c.Shards = shards
 		got := Permutation(c)
+		if got.Group == nil {
+			t.Errorf("shards=%d: no group self-profiling stats on a sharded run", shards)
+		}
+		// Group is engine self-profiling (epoch counts, wall timing), not
+		// part of the deterministic result surface; nil it for the compare.
+		got.Group = nil
 		if !reflect.DeepEqual(seq, got) {
 			t.Errorf("shards=%d fat-tree permutation diverges from sequential:\nseq: %+v\ngot: %+v",
 				shards, seq, got)

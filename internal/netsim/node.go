@@ -289,6 +289,9 @@ func (h *Host) deliver(pkt *Packet) {
 		h.cachedFlow, h.cachedEp = pkt.Flow, ep
 	}
 	h.net.trace(TraceDeliver, h.sh.sim.Now(), h.name, pkt)
+	if h.net.Probe != nil {
+		h.net.Probe.HostDeliver(h, pkt)
+	}
 	ep.Deliver(pkt)
 	// Delivery is the packet's release point: Deliver must consume the
 	// packet synchronously (every in-tree endpoint does), so ownership
@@ -339,8 +342,14 @@ type Probe interface {
 	PortEnqueue(p *Port, pkt *Packet)
 	// PortDequeue runs when pkt leaves the queue to start serialization.
 	PortDequeue(p *Port, pkt *Packet)
+	// PortTx runs when pkt's frame has fully serialized onto p's wire
+	// (the start of its propagation leg).
+	PortTx(p *Port, pkt *Packet)
 	// PortDrop runs for every drop (wire loss, hook veto, drop-tail, cut).
 	PortDrop(p *Port, pkt *Packet)
+	// HostDeliver runs when pkt reaches its destination endpoint at h,
+	// immediately before delivery (the end of the packet's journey).
+	HostDeliver(h *Host, pkt *Packet)
 	// LinkState runs when p's link fails (down=true) or recovers.
 	LinkState(p *Port, down bool)
 }

@@ -394,6 +394,9 @@ func (p *Port) finishTx(pkt *Packet) {
 	p.TxFrames += int64(pkt.FrameBytes())
 	now := p.sim.Now()
 	p.net.trace(TraceTx, now, p.Label, pkt)
+	if p.net.Probe != nil {
+		p.net.Probe.PortTx(p, pkt)
+	}
 	pkt.Hops++
 	if p.cross {
 		// Shard-boundary link: hand the delivery to the group mailbox.

@@ -1,0 +1,157 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+
+	"tfcsim/internal/netsim"
+	"tfcsim/internal/sim"
+)
+
+// Flight-recorder event kinds (interned constants: ring appends never
+// allocate).
+const (
+	fkEnqueue = "enq"
+	fkDequeue = "deq"
+	fkDrop    = "drop"
+	fkSlot    = "slot"
+	fkPause   = "pause"
+	fkRTO     = "rto"
+	fkLink    = "link"
+)
+
+// flightEvent is one fixed-size ring entry. A and B are kind-specific:
+// enq/deq/drop carry (seq, queue bytes after), slot carries (token
+// value, effective flows), pause carries (paused, 0), rto carries
+// (backoff, 0), link carries (down, 0).
+type flightEvent struct {
+	At   sim.Time `json:"t_ns"`
+	Kind string   `json:"kind"`
+	Port string   `json:"port,omitempty"`
+	Flow int64    `json:"flow"`
+	A    int64    `json:"a"`
+	B    int64    `json:"b"`
+}
+
+// portLast is the flight recorder's rolling per-port view: the last seen
+// queue depth and event time, dumped as the sorted state snapshot.
+type portLast struct {
+	Port       string   `json:"port"`
+	LastNs     sim.Time `json:"last_ns"`
+	QueueBytes int64    `json:"queue_bytes"`
+	Events     int64    `json:"events"`
+}
+
+// flightRing is a bounded ring of recent probe events plus a per-port
+// last-state map, all trial-local and mutex-guarded: a watchdog
+// violation dumps a consistent view without touching live simulation
+// state from the wrong goroutine. Appends are fixed-cost and
+// allocation-free after warm-up.
+type flightRing struct {
+	mu    sync.Mutex
+	buf   []flightEvent
+	next  int
+	full  bool
+	total uint64
+	ports map[string]*portLast
+}
+
+func newFlightRing(cap int) *flightRing {
+	return &flightRing{
+		buf:   make([]flightEvent, cap),
+		ports: make(map[string]*portLast),
+	}
+}
+
+// note records a packet event (kinds enq/deq/drop).
+func (r *flightRing) note(at sim.Time, kind, port string, pkt *netsim.Packet, qBytes int64) {
+	r.noteRaw(at, kind, port, int64(pkt.Flow), pkt.Seq, qBytes)
+}
+
+// noteRaw records an event with kind-specific payload values.
+func (r *flightRing) noteRaw(at sim.Time, kind, port string, flow, a, b int64) {
+	r.mu.Lock()
+	r.buf[r.next] = flightEvent{At: at, Kind: kind, Port: port, Flow: flow, A: a, B: b}
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.full = true
+	}
+	r.total++
+	if port != "" {
+		pl := r.ports[port]
+		if pl == nil {
+			pl = &portLast{Port: port}
+			r.ports[port] = pl
+		}
+		pl.LastNs = at
+		pl.Events++
+		switch kind {
+		case fkEnqueue, fkDequeue, fkDrop:
+			pl.QueueBytes = b
+		}
+	}
+	r.mu.Unlock()
+}
+
+// flightDump is the on-disk dump shape.
+type flightDump struct {
+	Schema   string        `json:"schema"`
+	Run      string        `json:"run"`
+	Trial    string        `json:"trial"`
+	Watchdog string        `json:"watchdog"`
+	Detail   string        `json:"detail"`
+	Dropped  uint64        `json:"events_dropped"`
+	Ports    []portLast    `json:"ports"`
+	Recent   []flightEvent `json:"recent"`
+}
+
+// dump writes the ring (oldest first) and the sorted per-port state
+// snapshot to path as JSON.
+func (r *flightRing) dump(path, run, trial, watchdog, detail string) error {
+	r.mu.Lock()
+	var recent []flightEvent
+	if r.full {
+		recent = append(recent, r.buf[r.next:]...)
+		recent = append(recent, r.buf[:r.next]...)
+	} else {
+		recent = append(recent, r.buf[:r.next]...)
+	}
+	ports := make([]portLast, 0, len(r.ports))
+	for _, pl := range r.ports {
+		ports = append(ports, *pl)
+	}
+	total := r.total
+	r.mu.Unlock()
+	sort.Slice(ports, func(i, j int) bool { return ports[i].Port < ports[j].Port })
+	dropped := uint64(0)
+	if total > uint64(len(recent)) {
+		dropped = total - uint64(len(recent))
+	}
+	d := flightDump{
+		Schema: "tfcsim-flight-v1", Run: run, Trial: trial,
+		Watchdog: watchdog, Detail: detail, Dropped: dropped,
+		Ports: ports, Recent: recent,
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(d); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// portSnapKey formats a port's unique snapshot label, matching
+// telemetry's metric key shape (labels alone can collide; node IDs
+// cannot).
+func portSnapKey(p *netsim.Port) string {
+	return fmt.Sprintf("%s#%d-%d", p.Label, p.Owner.ID(), p.Peer.ID())
+}

@@ -1,0 +1,308 @@
+// Package obs is the runtime observatory: live introspection of a
+// running simulation, engine self-profiling, causal packet spans, and
+// invariant watchdogs — all layered on the telemetry probe stream
+// (telemetry.TrialHooks), so the instrumented packages need no knowledge
+// of it and the hot path pays nothing when it is disabled.
+//
+// Everything obs computes from the simulation is a pure read: spans and
+// profiling go to the trial's telemetry recorder/registry (virtual-time
+// stamped, canonically ordered), watchdog diagnostics go to stderr and
+// flight-recorder dump files. Results, traces, and metrics therefore
+// stay byte-identical with the observatory on or off, at any worker
+// parallelism and shard count. The only wall-clock machinery (the HTTP
+// endpoint and the shard-liveness monitor) reads lock-free per-shard
+// Pulse mailboxes and atomic snapshots — it never touches simulator
+// state directly.
+package obs
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"tfcsim/internal/netsim"
+	"tfcsim/internal/sim"
+	"tfcsim/internal/telemetry"
+)
+
+// Options configures an Observatory.
+type Options struct {
+	// HTTPAddr, when non-empty, serves the live introspection endpoint
+	// (JSON at /snapshot, auto-refreshing HTML at /) on this address.
+	HTTPAddr string
+	// SpanEvery samples 1-in-N flows for causal packet spans (0 disables).
+	// Sampling is a pure function of (flow ID, SpanSeed), so the sampled
+	// set — and the exported trace — is byte-identical at any -j/-shards.
+	SpanEvery int
+	// SpanSeed perturbs the span sampling hash (default 1).
+	SpanSeed int64
+	// Watchdogs enables the invariant watchdogs.
+	Watchdogs bool
+	// FlightDir is where watchdog violations write flight-recorder dumps
+	// (default "."). Empty string means default; "-" disables dumps.
+	FlightDir string
+	// FlightCap bounds the flight recorder's event ring (default 4096).
+	FlightCap int
+	// ZeroQueueBytes is the zero-queueing watchdog's per-TFC-port bound:
+	// a TFC-controlled port whose standing queue exceeds it at a slot
+	// boundary violates the paper's zero-queueing claim grossly enough to
+	// flag (default 256 KiB, one full testbed buffer).
+	ZeroQueueBytes int64
+	// RTOStormBackoff is the RTO-storm watchdog threshold: a sender
+	// reaching this exponential-backoff stage has been dead for
+	// MinRTO * 2^n and something is wedged (default 8).
+	RTOStormBackoff uint
+	// SampleEvery is the virtual-time cadence of the endpoint's port/flow
+	// snapshot tick (default 1ms; only scheduled when HTTPAddr is set).
+	SampleEvery sim.Time
+	// LivenessSec is the shard-liveness watchdog's wall-clock stall
+	// threshold in seconds (default 30; needs HTTPAddr and Watchdogs).
+	LivenessSec int
+}
+
+func (o *Options) fill() {
+	if o.SpanSeed == 0 {
+		o.SpanSeed = 1
+	}
+	if o.FlightDir == "" {
+		o.FlightDir = "."
+	}
+	if o.FlightCap <= 0 {
+		o.FlightCap = 4096
+	}
+	if o.ZeroQueueBytes <= 0 {
+		o.ZeroQueueBytes = 256 << 10
+	}
+	if o.RTOStormBackoff == 0 {
+		o.RTOStormBackoff = 8
+	}
+	if o.SampleEvery <= 0 {
+		o.SampleEvery = sim.Millisecond
+	}
+	if o.LivenessSec <= 0 {
+		o.LivenessSec = 30
+	}
+}
+
+// Observatory is the process-wide observability hub: one per tfcsim
+// invocation, attached to each experiment's telemetry collector in turn.
+// It implements telemetry.TrialObserver.
+type Observatory struct {
+	opts Options
+
+	mu     sync.Mutex
+	run    string // current experiment name
+	trials []*trialObs
+	byKey  map[string]*trialObs
+	dumps  int // flight dumps written (names stay unique)
+
+	violations atomic.Uint64
+
+	srv *server
+}
+
+// New creates an Observatory with the given options (not yet serving;
+// call Start).
+func New(opts Options) *Observatory {
+	opts.fill()
+	return &Observatory{opts: opts, byKey: make(map[string]*trialObs)}
+}
+
+// Options returns the observatory's (filled) options.
+func (o *Observatory) Options() Options { return o.opts }
+
+// Violations returns the number of watchdog violations recorded so far.
+func (o *Observatory) Violations() uint64 { return o.violations.Load() }
+
+// Start brings up the HTTP endpoint (no-op when HTTPAddr is empty).
+func (o *Observatory) Start() error {
+	if o == nil || o.opts.HTTPAddr == "" {
+		return nil
+	}
+	srv, err := newServer(o)
+	if err != nil {
+		return err
+	}
+	o.srv = srv
+	return nil
+}
+
+// Stop shuts the HTTP endpoint down. Nil-safe, idempotent.
+func (o *Observatory) Stop() {
+	if o == nil || o.srv == nil {
+		return
+	}
+	o.srv.stop()
+	o.srv = nil
+}
+
+// Addr returns the endpoint's bound address ("" when not serving) —
+// useful when HTTPAddr was ":0".
+func (o *Observatory) Addr() string {
+	if o == nil || o.srv == nil {
+		return ""
+	}
+	return o.srv.addr()
+}
+
+// Warm pre-sizes every registered trial's live-journey table for the
+// given number of concurrently in-flight sampled packets — the span
+// tracer's analog of Simulator.Warm and Network.Warm. Benchmarks call it
+// after the untimed pre-roll so table growth (the only allocation the
+// tracer ever performs) stays out of the measured window; the tracer
+// works identically without it, growing on demand. Setup context only —
+// never call from a probe. Nil-safe.
+func (o *Observatory) Warm(journeys int) {
+	if o == nil {
+		return
+	}
+	o.mu.Lock()
+	trials := make([]*trialObs, len(o.trials))
+	copy(trials, o.trials)
+	o.mu.Unlock()
+	for _, to := range trials {
+		if to.spans != nil {
+			to.spans.warm(journeys)
+		}
+	}
+}
+
+// Attach registers a run and installs the observatory as the collector's
+// trial observer. Call once per experiment before trials are minted.
+// Nil-safe on both sides.
+func (o *Observatory) Attach(run string, c *telemetry.Collector) {
+	if o == nil || c == nil {
+		return
+	}
+	o.mu.Lock()
+	o.run = run
+	o.mu.Unlock()
+	c.SetObserver(o)
+}
+
+// ObserveTrial implements telemetry.TrialObserver: it mints the per-trial
+// hook set wired to the observatory's spans, watchdogs, profiling, and
+// endpoint snapshots.
+func (o *Observatory) ObserveTrial(key string, t *telemetry.Trial) *telemetry.TrialHooks {
+	to := &trialObs{o: o, key: key, t: t}
+	if o.opts.SpanEvery > 0 {
+		to.spans = newSpanTracer(t, o.opts.SpanEvery, o.opts.SpanSeed)
+	}
+	if o.opts.Watchdogs {
+		to.flight = newFlightRing(o.opts.FlightCap)
+		to.token = &tokenWatchdog{to: to}
+		to.zeroq = &zeroQueueWatchdog{to: to, bound: o.opts.ZeroQueueBytes}
+		to.pair = &pairWatchdog{to: to}
+		to.rto = &rtoWatchdog{to: to, threshold: o.opts.RTOStormBackoff}
+	}
+	httpOn := o.opts.HTTPAddr != ""
+	if httpOn {
+		to.flows = make(map[netsim.FlowID]struct{})
+	}
+	o.mu.Lock()
+	to.run = o.run
+	o.trials = append(o.trials, to)
+	o.byKey[to.run+"/"+key] = to
+	o.mu.Unlock()
+
+	hooks := &telemetry.TrialHooks{
+		Bound: func(s *sim.Simulator) {
+			to.pulse = &sim.Pulse{}
+			s.SetPulse(to.pulse)
+			to.ctl = s
+			if httpOn {
+				var tick func()
+				tick = func() {
+					to.takeSnapshot()
+					s.After(o.opts.SampleEvery, tick)
+				}
+				s.After(o.opts.SampleEvery, tick)
+			}
+		},
+		Instrumented: func(n *netsim.Network) { to.instrumented(n) },
+		Flush: func(now sim.Time) {
+			if to.spans != nil {
+				to.spans.flush(now)
+			}
+			to.done.Store(true)
+		},
+	}
+	if to.spans != nil || to.flight != nil || httpOn {
+		hooks.Net = to
+	}
+	if to.token != nil {
+		hooks.SlotEnd = to.slotEnd
+		hooks.Pause = to.pause
+		hooks.RTO = to.rtoFired
+	}
+	return hooks
+}
+
+// FinishRun marks every trial of the named run as done (the endpoint's
+// state column and the liveness watchdog key off it). Experiments call
+// it after their last trial completes; trials whose collector exports
+// files are also marked individually at flush. Nil-safe.
+func (o *Observatory) FinishRun(run string) {
+	if o == nil {
+		return
+	}
+	o.mu.Lock()
+	trials := make([]*trialObs, len(o.trials))
+	copy(trials, o.trials)
+	o.mu.Unlock()
+	for _, to := range trials {
+		if to.run == run {
+			to.done.Store(true)
+		}
+	}
+}
+
+// violation records a watchdog violation: a structured stderr diagnostic
+// plus (when a flight recorder is live) a dump file. Safe to call from
+// probe context on shard goroutines.
+func (o *Observatory) violation(to *trialObs, kind, detail string) {
+	o.violations.Add(1)
+	dump := ""
+	if to != nil && to.flight != nil && o.opts.FlightDir != "-" {
+		o.mu.Lock()
+		o.dumps++
+		n := o.dumps
+		o.mu.Unlock()
+		path := fmt.Sprintf("%s/flight-%03d-%s.json", o.opts.FlightDir, n, kind)
+		if err := to.flight.dump(path, to.run, to.key, kind, detail); err != nil {
+			dump = " dump-error=" + err.Error()
+		} else {
+			dump = " dump=" + path
+		}
+	}
+	trial := ""
+	if to != nil {
+		trial = to.run + "/" + to.key
+	}
+	fmt.Fprintf(os.Stderr, "obs: WATCHDOG %s trial=%q %s%s\n", kind, trial, detail, dump)
+}
+
+// snapshotTrials returns the registered trials in registration order
+// (stable: runner trial minting is serialized by the collector lock).
+func (o *Observatory) snapshotTrials() []*trialObs {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	out := make([]*trialObs, len(o.trials))
+	copy(out, o.trials)
+	return out
+}
+
+// sortedKeys returns "run/key" identifiers of all registered trials,
+// sorted (for the endpoint's stable listing).
+func (o *Observatory) sortedKeys() []string {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	keys := make([]string, 0, len(o.byKey))
+	for k := range o.byKey {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// ValidateSpans checks the causal packet-span schema in a trace-event
+// JSON file: every cat="span" X event carries a known hop name and
+// integer seq/hop/parent args with parent = hop-1; within each chain
+// (pid, tid, seq), ordered by (ts, hop), hops advance by one with each
+// hop starting where its predecessor ended (monotone, contiguous
+// timestamps); and every run of hops closes with exactly one terminal
+// ("deliver", "drop", "abort" or "open"). A chain may hold several runs
+// — a delivered-but-retransmitted seq restarts at hop 0 — and the first
+// retained run may be front-truncated when the recorder ring evicted
+// its oldest events, so only runs after the first must start at hop 0.
+// Used by cmd/tracecheck and the CI schema gate.
+func ValidateSpans(r io.Reader) error {
+	// Args decode as any: metadata events carry string args in the same
+	// files.
+	var tf struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Cat  string         `json:"cat"`
+			Ph   string         `json:"ph"`
+			Ts   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			Pid  int            `json:"pid"`
+			Tid  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.NewDecoder(r).Decode(&tf); err != nil {
+		return fmt.Errorf("spans: not valid JSON: %w", err)
+	}
+	type hopEvent struct {
+		name    string
+		ts, dur float64
+		hop     int64
+	}
+	type chainKey struct {
+		pid, tid int
+		seq      int64
+	}
+	chains := make(map[chainKey][]hopEvent)
+	var order []chainKey // deterministic reporting order: first appearance
+	for i, ev := range tf.TraceEvents {
+		if ev.Ph != "X" || ev.Cat != SpanCat {
+			continue
+		}
+		if !SpanHop(ev.Name) {
+			return fmt.Errorf("spans: event %d: unknown hop name %q", i, ev.Name)
+		}
+		seq, ok := intArg(ev.Args, "seq")
+		if !ok {
+			return fmt.Errorf("spans: event %d (%s): missing integer seq arg", i, ev.Name)
+		}
+		hop, ok := intArg(ev.Args, "hop")
+		if !ok || hop < 0 {
+			return fmt.Errorf("spans: event %d (%s): missing or negative integer hop arg", i, ev.Name)
+		}
+		parent, ok := intArg(ev.Args, "parent")
+		if !ok || parent != hop-1 {
+			return fmt.Errorf("spans: event %d (%s): broken parent linkage (hop=%d parent arg=%v)",
+				i, ev.Name, hop, ev.Args["parent"])
+		}
+		if ev.Dur < 0 {
+			return fmt.Errorf("spans: event %d (%s): negative dur", i, ev.Name)
+		}
+		k := chainKey{ev.Pid, ev.Tid, seq}
+		if _, seen := chains[k]; !seen {
+			order = append(order, k)
+		}
+		chains[k] = append(chains[k], hopEvent{name: ev.Name, ts: ev.Ts, dur: ev.Dur, hop: hop})
+	}
+	// Hop starts are microseconds derived from integer nanoseconds; a
+	// contiguous chain reassembles to float error only.
+	const tol = 1e-3
+	for _, k := range order {
+		hops := chains[k]
+		// File order is the recorder's canonical total order, which breaks
+		// timestamp ties by event fields, not hop index — a zero-duration
+		// hop and its successor share a start time. Causal order within a
+		// chain is (ts, hop).
+		sort.Slice(hops, func(i, j int) bool {
+			if hops[i].ts != hops[j].ts {
+				return hops[i].ts < hops[j].ts
+			}
+			return hops[i].hop < hops[j].hop
+		})
+		// Split the chain into runs at hop resets and check each run.
+		start, firstRun := 0, true
+		for j := 1; j <= len(hops); j++ {
+			if j < len(hops) && hops[j].hop == hops[j-1].hop+1 {
+				prev := hops[j-1]
+				gap := hops[j].ts - (prev.ts + prev.dur)
+				if gap > tol || gap < -tol {
+					return fmt.Errorf("spans: chain pid=%d tid=%d seq=%d: hop timestamps not contiguous (%s ends at %v, %s starts at %v)",
+						k.pid, k.tid, k.seq, prev.name, prev.ts+prev.dur, hops[j].name, hops[j].ts)
+				}
+				continue
+			}
+			run := hops[start:j]
+			if !firstRun && run[0].hop != 0 {
+				return fmt.Errorf("spans: chain pid=%d tid=%d seq=%d: restarted run begins at hop %d, want 0",
+					k.pid, k.tid, k.seq, run[0].hop)
+			}
+			for m, h := range run {
+				if SpanTerminal(h.name) != (m == len(run)-1) {
+					return fmt.Errorf("spans: chain pid=%d tid=%d seq=%d: incomplete run — %q at position %d of %d",
+						k.pid, k.tid, k.seq, h.name, m, len(run))
+				}
+			}
+			start, firstRun = j, false
+		}
+	}
+	return nil
+}
+
+// intArg extracts an integer-valued numeric arg.
+func intArg(args map[string]any, key string) (int64, bool) {
+	v, ok := args[key].(float64)
+	if !ok || v != float64(int64(v)) {
+		return 0, false
+	}
+	return int64(v), true
+}

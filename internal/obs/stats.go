@@ -1,0 +1,223 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"tfcsim/internal/core"
+	"tfcsim/internal/netsim"
+	"tfcsim/internal/sim"
+	"tfcsim/internal/telemetry"
+)
+
+// trialObs is the observatory's per-trial state: it implements
+// netsim.Probe (multiplexing to the span tracer, the flight recorder,
+// and the endpoint's active-flow set) and carries the watchdogs and the
+// lock-free progress mailboxes the HTTP side reads.
+type trialObs struct {
+	o    *Observatory
+	run  string
+	key  string
+	t    *telemetry.Trial
+	ctl  *sim.Simulator
+	done atomic.Bool
+
+	// pulse is the control simulator's progress mailbox; shardPulses are
+	// the per-shard ones (nil for sequential trials). Written by the
+	// engine goroutines, read lock-free by the HTTP/liveness side.
+	pulse       *sim.Pulse
+	shardPulses []*sim.Pulse
+	group       *sim.Group
+
+	// rate is the monitor-computed recent event throughput (events/sec
+	// of wall time), read by the endpoint.
+	rate atomic.Uint64
+
+	// snap is the endpoint's latest port/flow snapshot, swapped in whole
+	// by the virtual-time sampling tick (which runs on the control
+	// simulator while shards are quiescent, so its port reads are safe).
+	snap atomic.Pointer[TrialSnapshot]
+
+	// ports are the instrumented network's switch ports, fixed at
+	// instrumentation time; labels are interned once so snapshot/flight
+	// recording never formats on the hot path.
+	ports []*netsim.Port
+
+	mu     sync.Mutex
+	labels map[*netsim.Port]string
+	flows  map[netsim.FlowID]struct{} // active flows (endpoint only)
+
+	spans  *spanTracer
+	flight *flightRing
+	token  *tokenWatchdog
+	zeroq  *zeroQueueWatchdog
+	pair   *pairWatchdog
+	rto    *rtoWatchdog
+}
+
+// TrialSnapshot is one trial's sampled state, served by the endpoint.
+type TrialSnapshot struct {
+	VirtualNs   int64      `json:"virtual_ns"`
+	ActiveFlows int        `json:"active_flows"`
+	Ports       []PortSnap `json:"ports"`
+}
+
+// PortSnap is one switch port's sampled queue state.
+type PortSnap struct {
+	Label      string `json:"label"`
+	QueueBytes int64  `json:"queue_bytes"`
+	QueueLen   int    `json:"queue_len"`
+}
+
+// instrumented captures the trial's topology handles once the network is
+// built: switch ports for snapshots, and the shard group (if any) for
+// per-shard pulses and profiling.
+func (to *trialObs) instrumented(n *netsim.Network) {
+	for _, node := range n.Nodes() {
+		sw, ok := node.(*netsim.Switch)
+		if !ok {
+			continue
+		}
+		to.ports = append(to.ports, sw.Ports()...)
+	}
+	to.mu.Lock()
+	if to.labels == nil {
+		to.labels = make(map[*netsim.Port]string, len(to.ports))
+	}
+	to.mu.Unlock()
+	if g := n.Group(); g != nil {
+		to.group = g
+		to.shardPulses = make([]*sim.Pulse, g.Shards())
+		for i := range to.shardPulses {
+			p := &sim.Pulse{}
+			to.shardPulses[i] = p
+			g.Shard(i).SetPulse(p)
+		}
+	}
+}
+
+// portLabel interns the port's snapshot label (owner#src-dst, matching
+// telemetry's metric keys). Lookup-only map keyed by pointer.
+func (to *trialObs) portLabel(p *netsim.Port) string {
+	to.mu.Lock()
+	defer to.mu.Unlock()
+	if s, ok := to.labels[p]; ok {
+		return s
+	}
+	if to.labels == nil {
+		to.labels = make(map[*netsim.Port]string)
+	}
+	s := portSnapKey(p)
+	to.labels[p] = s
+	return s
+}
+
+// takeSnapshot samples port queues and the active-flow count into the
+// endpoint's atomic snapshot slot. It runs as a control-simulator event:
+// in sharded trials the shards are quiescent at control event times, so
+// these reads do not race the engine.
+func (to *trialObs) takeSnapshot() {
+	s := &TrialSnapshot{VirtualNs: int64(to.ctl.Now())}
+	to.mu.Lock()
+	s.ActiveFlows = len(to.flows)
+	to.mu.Unlock()
+	s.Ports = make([]PortSnap, 0, len(to.ports))
+	for _, p := range to.ports {
+		s.Ports = append(s.Ports, PortSnap{
+			Label:      to.portLabel(p),
+			QueueBytes: int64(p.QueueBytes()),
+			QueueLen:   p.QueueLen(),
+		})
+	}
+	to.snap.Store(s)
+}
+
+// --- netsim.Probe (multiplexer) ---
+
+func (to *trialObs) PortEnqueue(p *netsim.Port, pkt *netsim.Packet) {
+	if to.flight != nil {
+		to.flight.note(p.Sim().Now(), fkEnqueue, to.portLabel(p), pkt, int64(p.QueueBytes()))
+	}
+	if to.flows != nil {
+		if _, isHost := p.Owner.(*netsim.Host); isHost && pkt.IsData() {
+			to.mu.Lock()
+			if pkt.Flags&netsim.FlagFIN != 0 {
+				delete(to.flows, pkt.Flow)
+			} else {
+				to.flows[pkt.Flow] = struct{}{}
+			}
+			to.mu.Unlock()
+		}
+	}
+	if to.spans != nil {
+		to.spans.portEnqueue(p, pkt)
+	}
+}
+
+func (to *trialObs) PortDequeue(p *netsim.Port, pkt *netsim.Packet) {
+	if to.flight != nil {
+		to.flight.note(p.Sim().Now(), fkDequeue, to.portLabel(p), pkt, int64(p.QueueBytes()))
+	}
+	if to.spans != nil {
+		to.spans.portDequeue(p, pkt)
+	}
+}
+
+func (to *trialObs) PortTx(p *netsim.Port, pkt *netsim.Packet) {
+	if to.spans != nil {
+		to.spans.portTx(p, pkt)
+	}
+}
+
+func (to *trialObs) PortDrop(p *netsim.Port, pkt *netsim.Packet) {
+	if to.flight != nil {
+		to.flight.note(p.Sim().Now(), fkDrop, to.portLabel(p), pkt, int64(p.QueueBytes()))
+	}
+	if to.spans != nil {
+		to.spans.portDrop(p, pkt)
+	}
+}
+
+func (to *trialObs) HostDeliver(h *netsim.Host, pkt *netsim.Packet) {
+	if to.spans != nil {
+		to.spans.hostDeliver(h, pkt)
+	}
+}
+
+func (to *trialObs) LinkState(p *netsim.Port, down bool) {
+	if to.flight != nil {
+		v := int64(0)
+		if down {
+			v = 1
+		}
+		to.flight.noteRaw(p.Sim().Now(), fkLink, to.portLabel(p), 0, v, 0)
+	}
+}
+
+// --- watchdog-facing hook callbacks ---
+
+func (to *trialObs) slotEnd(p *netsim.Port, info core.SlotInfo) {
+	if to.flight != nil {
+		to.flight.noteRaw(info.Time, fkSlot, to.portLabel(p), 0, int64(info.T), int64(info.E))
+	}
+	to.token.check(p, info)
+	to.zeroq.check(p, info)
+}
+
+func (to *trialObs) pause(p *netsim.Port, flow netsim.FlowID, paused bool) {
+	if to.flight != nil {
+		v := int64(0)
+		if paused {
+			v = 1
+		}
+		to.flight.noteRaw(p.Sim().Now(), fkPause, to.portLabel(p), int64(flow), v, 0)
+	}
+	to.pair.check(p, flow, paused)
+}
+
+func (to *trialObs) rtoFired(now sim.Time, flow netsim.FlowID, backoff uint) {
+	if to.flight != nil {
+		to.flight.noteRaw(now, fkRTO, "", int64(flow), int64(backoff), 0)
+	}
+	to.rto.check(now, flow, backoff)
+}

@@ -1,0 +1,168 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"tfcsim/internal/core"
+	"tfcsim/internal/netsim"
+	"tfcsim/internal/sim"
+)
+
+// The invariant watchdogs check simulation invariants on the virtual
+// timeline, driven purely by probe callbacks: they never schedule
+// events, never draw randomness, and never mutate simulation state, so
+// enabling them cannot change any result (tfcvet's probepure analyzer
+// machine-checks this — methods on *watchdog receivers are probe roots).
+// A violation emits one structured stderr diagnostic plus a
+// flight-recorder dump; each watchdog reports at most once per trial so
+// a persistent violation cannot flood the run.
+
+// tokenWatchdog checks TFC's token-conservation invariants at every slot
+// boundary (paper §4.2–§4.4): the token value T is finite and positive
+// (the slot clamp floors it at one MSS), the stamped window W never
+// exceeds T (W = T / eSmooth with eSmooth >= 1), the effective flow
+// count is at least 1, and the measured utilization rho is finite and
+// positive (it may legitimately exceed 1: arrivals fan in from many
+// input ports, and a saturated link is deliberately measured at rho >=
+// 1 so the adjustment drains standing queues).
+type tokenWatchdog struct {
+	to      *trialObs
+	mu      sync.Mutex
+	tripped bool
+}
+
+func (w *tokenWatchdog) check(p *netsim.Port, info core.SlotInfo) {
+	if w == nil {
+		return
+	}
+	bad := ""
+	switch {
+	case math.IsNaN(info.T) || math.IsInf(info.T, 0):
+		bad = fmt.Sprintf("token value not finite: T=%v", info.T)
+	case info.T <= 0:
+		bad = fmt.Sprintf("token pool drained below the MSS floor: T=%.1f", info.T)
+	case math.IsNaN(info.W) || math.IsInf(info.W, 0):
+		bad = fmt.Sprintf("window not finite: W=%v", info.W)
+	case info.W > info.T*(1+1e-9)+1e-6:
+		bad = fmt.Sprintf("window exceeds token pool: W=%.1f > T=%.1f", info.W, info.T)
+	case info.E < 1:
+		bad = fmt.Sprintf("effective flow count below 1: E=%d", info.E)
+	case math.IsNaN(info.Rho) || math.IsInf(info.Rho, 0) || info.Rho <= 0:
+		bad = fmt.Sprintf("measured utilization not finite-positive: rho=%v", info.Rho)
+	}
+	if bad == "" {
+		return
+	}
+	w.mu.Lock()
+	first := !w.tripped
+	w.tripped = true
+	w.mu.Unlock()
+	if first {
+		w.to.o.violation(w.to, "token-conservation",
+			fmt.Sprintf("port=%q t=%dns %s", w.to.portLabel(p), int64(info.Time), bad))
+	}
+}
+
+// zeroQueueWatchdog checks TFC's zero-queueing claim (§4.1: tokens are
+// granted so that aggregate arrivals match drain rate, keeping standing
+// queues near zero): a TFC-controlled port whose queue exceeds the
+// configured bound at a slot boundary has lost token control. Ports are
+// discovered lazily — only ports that reach a slot boundary are TFC
+// ports — so the watchdog needs no topology knowledge.
+type zeroQueueWatchdog struct {
+	to      *trialObs
+	bound   int64
+	mu      sync.Mutex
+	tripped bool
+}
+
+func (w *zeroQueueWatchdog) check(p *netsim.Port, info core.SlotInfo) {
+	if w == nil {
+		return
+	}
+	q := int64(p.QueueBytes())
+	if q <= w.bound {
+		return
+	}
+	w.mu.Lock()
+	first := !w.tripped
+	w.tripped = true
+	w.mu.Unlock()
+	if first {
+		w.to.o.violation(w.to, "zero-queueing",
+			fmt.Sprintf("port=%q t=%dns queue=%dB exceeds bound=%dB",
+				w.to.portLabel(p), int64(info.Time), q, w.bound))
+	}
+}
+
+// pairKey identifies one (port, flow) BFC pause channel.
+type pairKey struct {
+	port *netsim.Port
+	flow netsim.FlowID
+}
+
+// pairWatchdog checks BFC XOF/XON pairing: a flow must not be resumed
+// while running — an XON with no outstanding XOF means the per-flow
+// pause bookkeeping desynchronized from the queue occupancy it mirrors.
+// Repeated XOFs are legal: the gate deliberately re-signals a standing
+// pause every RefreshGap so a lost XOF cannot strand the flow.
+type pairWatchdog struct {
+	to      *trialObs
+	mu      sync.Mutex
+	paused  map[pairKey]bool
+	tripped bool
+}
+
+func (w *pairWatchdog) check(p *netsim.Port, flow netsim.FlowID, paused bool) {
+	if w == nil {
+		return
+	}
+	k := pairKey{p, flow}
+	w.mu.Lock()
+	if w.paused == nil {
+		w.paused = make(map[pairKey]bool)
+	}
+	was := w.paused[k]
+	w.paused[k] = paused
+	first := !w.tripped
+	bad := ""
+	if !paused && !was {
+		bad = "XON without XOF: flow resumed while not paused"
+	}
+	if bad != "" {
+		w.tripped = true
+	}
+	w.mu.Unlock()
+	if bad != "" && first {
+		w.to.o.violation(w.to, "bfc-pairing",
+			fmt.Sprintf("port=%q flow=%d t=%dns %s", w.to.portLabel(p), flow, int64(p.Sim().Now()), bad))
+	}
+}
+
+// rtoWatchdog flags retransmission-timeout storms: a sender whose
+// exponential backoff reaches the threshold has retransmitted the same
+// data 2^n times without an acknowledgment — the flow is effectively
+// dead and the run is burning virtual time on timer churn.
+type rtoWatchdog struct {
+	to        *trialObs
+	threshold uint
+	mu        sync.Mutex
+	tripped   bool
+}
+
+func (w *rtoWatchdog) check(now sim.Time, flow netsim.FlowID, backoff uint) {
+	if w == nil || backoff < w.threshold {
+		return
+	}
+	w.mu.Lock()
+	first := !w.tripped
+	w.tripped = true
+	w.mu.Unlock()
+	if first {
+		w.to.o.violation(w.to, "rto-storm",
+			fmt.Sprintf("flow=%d t=%dns backoff=%d reached threshold=%d",
+				flow, int64(now), backoff, w.threshold))
+	}
+}

@@ -58,6 +58,74 @@ type Group struct {
 	Ties uint64
 
 	epochs uint64 // barrier count (diagnostics / benchmarks)
+
+	// Self-profiling counters (see Stats). All are written by the barrier
+	// thread between parallel phases except workNs, whose slot i is written
+	// only by shard i's worker goroutine.
+	instantEvents uint64  // events merge-stepped on the barrier thread
+	mailDelivered uint64  // cross-shard events delivered
+	mailPeak      int     // largest single-destination barrier batch
+	windowNs      int64   // wall ns spent inside shard windows
+	workNs        []int64 // wall ns shard i spent executing windows
+	// clock, when non-nil, is a wall-clock nanosecond source injected from
+	// outside the simulation-time boundary (the sim package itself never
+	// imports time). It enables barrier/work attribution in Stats.
+	clock func() int64
+}
+
+// GroupStats is a structured snapshot of the group's self-profiling
+// counters — the machine-readable replacement for parsing String().
+// Read it after a run returns: Stats is not synchronized with in-flight
+// worker goroutines.
+type GroupStats struct {
+	Shards        int
+	Lookahead     Time
+	Epochs        uint64 // epoch barriers crossed (parallel windows)
+	Ties          uint64 // residual neutral-rank cross-source collisions
+	InstantEvents uint64 // events merge-stepped on the barrier thread
+	MailDelivered uint64 // cross-shard events delivered at barriers
+	MailPeak      int    // largest single-destination barrier batch
+	WindowNs      int64  // wall ns inside shard windows (0 without SetClock)
+	PerShard      []ShardStats
+}
+
+// ShardStats profiles one shard simulator of a group.
+type ShardStats struct {
+	Executed     uint64
+	HeapDispatch uint64 // queue pops served by the 4-ary heap
+	LaneDispatch uint64 // queue pops served by timer-wheel lanes
+	WorkNs       int64  // wall ns executing windows (0 without SetClock)
+	BarrierNs    int64  // WindowNs - WorkNs: time stalled at epoch barriers
+}
+
+// SetClock injects a wall-clock nanosecond source (callers pass
+// time.Now().UnixNano from outside the sim-time boundary), enabling the
+// WorkNs/BarrierNs attribution in Stats. Set it before the first run; a
+// nil clock (the default) keeps the epoch loop free of timing calls.
+func (g *Group) SetClock(fn func() int64) { g.clock = fn }
+
+// Stats returns the group's structured self-profiling counters.
+func (g *Group) Stats() GroupStats {
+	st := GroupStats{
+		Shards:        len(g.shards),
+		Lookahead:     g.lookahead,
+		Epochs:        g.epochs,
+		Ties:          g.Ties,
+		InstantEvents: g.instantEvents,
+		MailDelivered: g.mailDelivered,
+		MailPeak:      g.mailPeak,
+		WindowNs:      g.windowNs,
+	}
+	st.PerShard = make([]ShardStats, len(g.shards))
+	for i, sh := range g.shards {
+		h, l := sh.DispatchStats()
+		ss := ShardStats{Executed: sh.executed, HeapDispatch: h, LaneDispatch: l, WorkNs: g.workNs[i]}
+		if b := g.windowNs - ss.WorkNs; g.windowNs > 0 && b > 0 {
+			ss.BarrierNs = b
+		}
+		st.PerShard[i] = ss
+	}
+	return st
 }
 
 // mail is one cross-shard event in flight between epochs.
@@ -94,6 +162,7 @@ func NewGroup(ctl *Simulator, n int, lookahead Time) *Group {
 	for i := range g.out {
 		g.out[i] = make([][]mail, n)
 	}
+	g.workNs = make([]int64, n)
 	ctl.group = g
 	return g
 }
@@ -196,6 +265,10 @@ func (g *Group) deliverMail(scratch *[]srcMail) {
 			}
 			return a.src < b.src
 		})
+		g.mailDelivered += uint64(len(box))
+		if len(box) > g.mailPeak {
+			g.mailPeak = len(box)
+		}
 		sh := g.shards[dst]
 		for i := range box {
 			m := &box[i]
@@ -231,11 +304,18 @@ func (g *Group) runUntil(end Time) {
 	// per group) so an abandoned group leaks nothing.
 	starts := make([]chan Time, len(g.shards))
 	done := make(chan int, len(g.shards))
+	clock := g.clock
 	for i := range g.shards {
 		starts[i] = make(chan Time, 1)
 		go func(sh *Simulator, start <-chan Time, i int) {
 			for e := range start {
-				sh.runCore(e)
+				if clock != nil {
+					w0 := clock()
+					sh.runCore(e)
+					g.workNs[i] += clock() - w0
+				} else {
+					sh.runCore(e)
+				}
 				done <- i
 			}
 		}(g.shards[i], starts[i], i)
@@ -346,8 +426,20 @@ func (g *Group) runWindow(starts []chan Time, done chan int, E Time) {
 	case 0:
 		return
 	case 1:
-		g.shards[last].runCore(E)
+		if c := g.clock; c != nil {
+			w0 := c()
+			g.shards[last].runCore(E)
+			d := c() - w0
+			g.workNs[last] += d
+			g.windowNs += d
+		} else {
+			g.shards[last].runCore(E)
+		}
 		return
+	}
+	var t0 int64
+	if g.clock != nil {
+		t0 = g.clock()
 	}
 	g.ctl.noSchedule = true
 	n := 0
@@ -361,6 +453,9 @@ func (g *Group) runWindow(starts []chan Time, done chan int, E Time) {
 		<-done
 	}
 	g.ctl.noSchedule = false
+	if g.clock != nil {
+		g.windowNs += g.clock() - t0
+	}
 }
 
 // runInstant executes every event whose deadline is exactly T — across
@@ -403,11 +498,13 @@ func (g *Group) runInstant(T Time) {
 			if tie {
 				g.Ties++
 			}
+			g.instantEvents++
 			g.ctl.runOne()
 		default:
 			if tie {
 				g.Ties++
 			}
+			g.instantEvents++
 			g.shards[best].runOne()
 			// A shard event may have posted cross-shard mail; with
 			// cross-shard delays >= lookahead > 0 it cannot land at T, but
@@ -431,6 +528,7 @@ func (g *Group) drainInstantMail(src int) {
 		if len(row) == 0 {
 			continue
 		}
+		g.mailDelivered += uint64(len(row))
 		sh := g.shards[dst]
 		for i := range row {
 			m := &row[i]

@@ -30,6 +30,7 @@ package sim
 import (
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 )
 
 // Time is a point in virtual time, in nanoseconds since the start of the
@@ -261,7 +262,49 @@ type Simulator struct {
 	seed int64
 	// executed counts events run so far (useful for budget guards in tests).
 	executed uint64
+	// dispHeap/dispLane count queue pops served by the 4-ary heap vs the
+	// timer-wheel lanes (engine self-profiling; includes cancelled-node
+	// collection — a pop is a pop).
+	dispHeap uint64
+	dispLane uint64
+	// pulse, when non-nil, is the live-introspection mailbox: the dispatch
+	// loop publishes (now, executed) to it every pulsePeriod events. Nil
+	// costs one pointer test per event, same budget as the probe hooks.
+	pulse *Pulse
 }
+
+// Pulse is a lock-free progress mailbox for live introspection. The engine
+// (single writer) publishes its clock and event count periodically from the
+// dispatch loop; an observer goroutine (the obs HTTP server) reads the
+// atomics without pausing the run. The published pair is a sample, not a
+// transaction: the two fields may be up to pulsePeriod events apart.
+type Pulse struct {
+	now      atomic.Int64
+	executed atomic.Uint64
+}
+
+// Load returns the most recently published (virtual time, executed events)
+// sample. Safe from any goroutine.
+func (p *Pulse) Load() (Time, uint64) {
+	return Time(p.now.Load()), p.executed.Load()
+}
+
+// pulseMask makes the dispatch loop publish every 1024 events: cheap enough
+// to be invisible, fresh enough for a 1 Hz dashboard.
+const pulseMask = 1<<10 - 1
+
+// SetPulse attaches (or, with nil, detaches) the progress mailbox.
+func (s *Simulator) SetPulse(p *Pulse) { s.pulse = p }
+
+func (s *Simulator) publishPulse() {
+	s.pulse.now.Store(int64(s.now))
+	s.pulse.executed.Store(s.executed)
+}
+
+// DispatchStats reports how many queue pops were served by the 4-ary heap
+// vs the timer-wheel lanes — the heap-vs-lane dispatch ratio the lane fast
+// path exists to win. Per-simulator; the Group aggregates across shards.
+func (s *Simulator) DispatchStats() (heap, lane uint64) { return s.dispHeap, s.dispLane }
 
 // New creates a simulator whose random source is seeded with seed.
 func New(seed int64) *Simulator {
@@ -623,12 +666,14 @@ func (s *Simulator) runCore(stopBefore Time) {
 			}
 		}
 		if n == nil || n.at >= stopBefore {
-			return
+			break
 		}
 		if li < 0 {
 			s.popMin()
+			s.dispHeap++
 		} else {
 			s.lanes[li].pop()
+			s.dispLane++
 		}
 		if n.stopped {
 			s.recycle(n)
@@ -637,6 +682,9 @@ func (s *Simulator) runCore(stopBefore Time) {
 		s.live--
 		s.now = n.at
 		s.executed++
+		if s.pulse != nil && s.executed&pulseMask == 0 {
+			s.publishPulse()
+		}
 		// Recycle before invoking: outstanding handles are already dead
 		// (generation bumped), and the callback may schedule fresh events
 		// straight into the node we just returned.
@@ -648,6 +696,9 @@ func (s *Simulator) runCore(stopBefore Time) {
 			s.recycle(n)
 			fn()
 		}
+	}
+	if s.pulse != nil {
+		s.publishPulse()
 	}
 }
 
@@ -680,8 +731,10 @@ func (s *Simulator) peekLive() (at, schedAt Time, rank int32, ok bool) {
 		}
 		if li < 0 {
 			s.popMin()
+			s.dispHeap++
 		} else {
 			s.lanes[li].pop()
+			s.dispLane++
 		}
 		s.recycle(n)
 	}
@@ -711,8 +764,10 @@ func (s *Simulator) runOne() {
 		}
 		if li < 0 {
 			s.popMin()
+			s.dispHeap++
 		} else {
 			s.lanes[li].pop()
+			s.dispLane++
 		}
 		if n.stopped {
 			s.recycle(n)

@@ -225,6 +225,7 @@ func ValidateTrace(r io.Reader) error {
 	if tf.TraceEvents == nil {
 		return fmt.Errorf("trace: missing traceEvents array")
 	}
+	prevPid, prevKey := -1, ""
 	for i, ev := range tf.TraceEvents {
 		ph, ok := ev["ph"].(string)
 		if !ok {
@@ -241,8 +242,24 @@ func ValidateTrace(r io.Reader) error {
 		}
 		switch ph {
 		case "M":
-			if _, ok := ev["args"].(map[string]any); !ok {
+			args, ok := ev["args"].(map[string]any)
+			if !ok {
 				return fmt.Errorf("trace: event %d: metadata without args", i)
+			}
+			// WriteTrace emits one process_name per trial in sorted key
+			// order with pid = sorted index; an out-of-order trace means
+			// the export was not merged deterministically.
+			if ev["name"] == "process_name" {
+				key, ok := args["name"].(string)
+				if !ok {
+					return fmt.Errorf("trace: event %d: process_name without args.name", i)
+				}
+				pid := int(ev["pid"].(float64))
+				if prevPid >= 0 && (pid <= prevPid || key <= prevKey) {
+					return fmt.Errorf("trace: event %d: trial keys out of order (%q pid=%d after %q pid=%d)",
+						i, key, pid, prevKey, prevPid)
+				}
+				prevPid, prevKey = pid, key
 			}
 		case "X", "i", "C":
 			ts, ok := ev["ts"].(float64)

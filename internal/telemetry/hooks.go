@@ -1,0 +1,58 @@
+package telemetry
+
+import (
+	"tfcsim/internal/bfc"
+	"tfcsim/internal/core"
+	"tfcsim/internal/netsim"
+	"tfcsim/internal/sim"
+)
+
+// TrialHooks fans a trial's probe stream out to a second observer layered
+// on top of telemetry (the runtime observatory in internal/obs). The
+// telemetry probes stay the single attachment point in the instrumented
+// packages; each callback forwards to the matching hook when one is set.
+// Hook implementations are held to the same observer contract as the
+// probes themselves (read-only, no scheduling, no Rand — see probepure):
+// they run inside the forwarding path on shard goroutines.
+//
+// Narrow func fields are used where the downstream consumer needs only a
+// slice of an interface (SlotEnd, RTO) so observers don't have to stub
+// the rest. All fields are optional.
+type TrialHooks struct {
+	// Bound fires from Bind with the trial's (control) simulator, before
+	// any event runs. This is the one hook allowed to schedule: it runs
+	// during setup, not from probe context.
+	Bound func(s *sim.Simulator)
+	// Instrumented fires from InstrumentNetwork after the forwarding
+	// probe is attached; setup context, like Bound.
+	Instrumented func(n *netsim.Network)
+	// Net receives every forwarding-path probe callback.
+	Net netsim.Probe
+	// SlotEnd receives every TFC slot boundary.
+	SlotEnd func(port *netsim.Port, info core.SlotInfo)
+	// RTO receives every sender retransmission-timeout firing.
+	RTO func(now sim.Time, flow netsim.FlowID, backoff uint)
+	// Pause receives every BFC XOF/XON transition.
+	Pause bfc.PauseProbe
+	// Flush fires once when the trial flushes at export, with the trial's
+	// final virtual time.
+	Flush func(now sim.Time)
+}
+
+// TrialObserver mints the hook set for each trial a Collector creates.
+// ObserveTrial runs under the collector's lock from whichever runner
+// goroutine mints the trial; it must not call back into the Collector.
+type TrialObserver interface {
+	ObserveTrial(key string, t *Trial) *TrialHooks
+}
+
+// SetObserver installs the collector's trial observer. Call before any
+// trial is minted; trials created earlier keep nil hooks. Nil-safe.
+func (c *Collector) SetObserver(o TrialObserver) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.observer = o
+	c.mu.Unlock()
+}

@@ -88,6 +88,10 @@ type netProbe struct {
 	enq, deq, drops, dropB *Counter
 	flows                  map[netsim.FlowID]*flowTrack
 	downAt                 map[string]sim.Time
+	// qdepth holds the per-switch-port dequeue-depth histograms (engine
+	// self-profiling): each service completion observes the queue length
+	// left behind. Keyed by port pointer — lookup only, never iterated.
+	qdepth map[*netsim.Port]*Hist
 }
 
 func (p *netProbe) ensure() {
@@ -100,10 +104,14 @@ func (p *netProbe) ensure() {
 	p.dropB = p.t.Counter("net.drop_bytes")
 	p.flows = make(map[netsim.FlowID]*flowTrack)
 	p.downAt = make(map[string]sim.Time)
+	p.qdepth = make(map[*netsim.Port]*Hist)
 }
 
 func (p *netProbe) PortEnqueue(port *netsim.Port, pkt *netsim.Packet) {
 	p.enq.Inc()
+	if h := p.t.hooks; h != nil && h.Net != nil {
+		h.Net.PortEnqueue(port, pkt)
+	}
 	if _, isHost := port.Owner.(*netsim.Host); !isHost || pkt.Flags&netsim.FlagACK != 0 {
 		return
 	}
@@ -138,6 +146,38 @@ func (p *netProbe) PortEnqueue(port *netsim.Port, pkt *netsim.Packet) {
 
 func (p *netProbe) PortDequeue(port *netsim.Port, pkt *netsim.Packet) {
 	p.deq.Inc()
+	if _, isSwitch := port.Owner.(*netsim.Switch); isSwitch {
+		p.portHist(port).Observe(float64(port.QueueLen()))
+	}
+	if h := p.t.hooks; h != nil && h.Net != nil {
+		h.Net.PortDequeue(port, pkt)
+	}
+}
+
+// portHist returns port's dequeue-depth histogram, creating it on first
+// use. The set of ports that ever dequeue is a pure function of the
+// trial seed, and metric names are sorted at export, so lazy creation
+// does not perturb the output.
+func (p *netProbe) portHist(port *netsim.Port) *Hist {
+	p.t.mu.Lock()
+	h, ok := p.qdepth[port]
+	p.t.mu.Unlock()
+	if ok {
+		return h
+	}
+	h = p.t.Histogram("port.qdepth_pkts."+p.t.portLabel(port),
+		0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024)
+	p.t.mu.Lock()
+	p.qdepth[port] = h
+	p.t.mu.Unlock()
+	return h
+}
+
+// PortTx marks the end of a frame's serialization (start of propagation).
+func (p *netProbe) PortTx(port *netsim.Port, pkt *netsim.Packet) {
+	if h := p.t.hooks; h != nil && h.Net != nil {
+		h.Net.PortTx(port, pkt)
+	}
 }
 
 func (p *netProbe) PortDrop(port *netsim.Port, pkt *netsim.Packet) {
@@ -145,6 +185,16 @@ func (p *netProbe) PortDrop(port *netsim.Port, pkt *netsim.Packet) {
 	p.dropB.Add(int64(pkt.FrameBytes()))
 	p.t.InstantAt(port.Sim().Now(), "net", "drop "+p.t.portLabel(port), "drops",
 		Arg{"flow", float64(pkt.Flow)}, Arg{"seq", float64(pkt.Seq)})
+	if h := p.t.hooks; h != nil && h.Net != nil {
+		h.Net.PortDrop(port, pkt)
+	}
+}
+
+// HostDeliver marks a packet's arrival at its destination endpoint.
+func (p *netProbe) HostDeliver(host *netsim.Host, pkt *netsim.Packet) {
+	if h := p.t.hooks; h != nil && h.Net != nil {
+		h.Net.HostDeliver(host, pkt)
+	}
 }
 
 func (p *netProbe) LinkState(port *netsim.Port, down bool) {
@@ -161,6 +211,9 @@ func (p *netProbe) LinkState(port *netsim.Port, down bool) {
 	p.t.mu.Unlock()
 	if ok {
 		p.t.Span("net", "link-down "+key, "links", at, now)
+	}
+	if h := p.t.hooks; h != nil && h.Net != nil {
+		h.Net.LinkState(port, down)
 	}
 }
 
@@ -210,6 +263,9 @@ func InstrumentNetwork(t *Trial, n *netsim.Network) {
 			})
 		}
 	}
+	if h := t.hooks; h != nil && h.Instrumented != nil {
+		h.Instrumented(n)
+	}
 }
 
 // --- core: TFC control plane ---
@@ -247,6 +303,9 @@ func (p *tfcProbe) SlotEnd(port *netsim.Port, info core.SlotInfo) {
 	key := p.t.portLabel(port)
 	p.t.CounterEventAt(port.Sim().Now(), "tfc", "tfc "+key, key,
 		Arg{"tokens", info.T}, Arg{"eflows", float64(info.E)}, Arg{"window", info.W})
+	if h := p.t.hooks; h != nil && h.SlotEnd != nil {
+		h.SlotEnd(port, info)
+	}
 }
 
 func (p *tfcProbe) WindowStamp(port *netsim.Port, flow netsim.FlowID, window int64) {
@@ -357,6 +416,9 @@ func (p *transportProbe) Cwnd(now sim.Time, flow netsim.FlowID, cwnd, ssthresh i
 func (p *transportProbe) RTOFired(now sim.Time, flow netsim.FlowID, backoff uint) {
 	p.rtos.Inc()
 	p.t.InstantAt(now, "tcp", p.t.flowLabel("rto", flow), "rto", Arg{"backoff", float64(backoff)})
+	if h := p.t.hooks; h != nil && h.RTO != nil {
+		h.RTO(now, flow, backoff)
+	}
 }
 
 func (p *transportProbe) Recovery(now sim.Time, flow netsim.FlowID, enter bool) {
@@ -445,6 +507,9 @@ func (t *Trial) PauseProbe() bfc.PauseProbe {
 			pauses.Inc()
 		} else {
 			resumes.Inc()
+		}
+		if h := t.hooks; h != nil && h.Pause != nil {
+			h.Pause(port, flow, paused)
 		}
 	}
 }

@@ -62,9 +62,10 @@ func (o *Options) fill() {
 // its own trial goroutine. A nil *Collector mints nil *Trials, which
 // disable all instrumentation.
 type Collector struct {
-	opts   Options
-	mu     sync.Mutex
-	trials map[string]*Trial
+	opts     Options
+	mu       sync.Mutex
+	trials   map[string]*Trial
+	observer TrialObserver
 }
 
 // NewCollector creates a collector with the given options.
@@ -91,6 +92,9 @@ func (c *Collector) Trial(key string) *Trial {
 		panic("telemetry: duplicate trial key " + key)
 	}
 	t := newTrial(key, c.opts)
+	if c.observer != nil {
+		t.hooks = c.observer.ObserveTrial(key, t)
+	}
 	c.trials[key] = t
 	return t
 }
@@ -131,6 +135,11 @@ type Trial struct {
 
 	stopSample bool
 	flushed    bool
+
+	// hooks, when non-nil, is the secondary observer the probes forward
+	// to (set once at mint, immutable afterwards — probes read it without
+	// the lock).
+	hooks *TrialHooks
 
 	// Hot-path label caches (see flowLabel / portLabel in probes.go).
 	flowLabels map[flowLabelKey]string
@@ -180,6 +189,9 @@ func (t *Trial) Bind(s *sim.Simulator) {
 		s.After(t.opts.SampleEvery, tick)
 	}
 	s.After(t.opts.SampleEvery, tick)
+	if t.hooks != nil && t.hooks.Bound != nil {
+		t.hooks.Bound(s)
+	}
 }
 
 // StopSampling ends the gauge cadence (optional; sampling otherwise runs
@@ -207,6 +219,9 @@ func (t *Trial) flush() {
 	}
 	t.flushed = true
 	now := t.now()
+	if t.hooks != nil && t.hooks.Flush != nil {
+		t.hooks.Flush(now)
+	}
 	t.net.flush(now)
 	t.tfc.flush(now)
 	t.tp.flush(now)

@@ -1,0 +1,82 @@
+package tfcsim
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"tfcsim/internal/obs"
+	"tfcsim/internal/telemetry"
+)
+
+func TestObservatoryResultsNeutral(t *testing.T) {
+	// Attaching the observatory — watchdogs armed, no telemetry export —
+	// must not perturb any experiment result: every obs computation is a
+	// pure read off the probe stream.
+	e, ok := Find("fig08-10")
+	if !ok {
+		t.Fatal("fig08-10 not in registry")
+	}
+	plain, err := e.Run(context.Background(), RunOptions{Scale: Quick, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := NewObservatory(ObsOptions{Watchdogs: true, FlightDir: "-"})
+	observed, err := e.Run(context.Background(), RunOptions{Scale: Quick, Seed: 7, Obs: o})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Text != observed.Text {
+		t.Error("experiment output changed when the observatory was attached")
+	}
+	if o.Violations() != 0 {
+		t.Errorf("healthy run tripped %d watchdog violation(s)", o.Violations())
+	}
+}
+
+func TestPacketSpanByteIdentical(t *testing.T) {
+	// Causal packet spans are sampled by a pure function of (flow, seed)
+	// and recorded on the virtual timeline, so the exported trace must be
+	// byte-identical at any worker parallelism and shard count. fig08-10
+	// honors -shards, making it the case where both axes actually vary.
+	e, ok := Find("fig08-10")
+	if !ok {
+		t.Fatal("fig08-10 not in registry")
+	}
+	run := func(par, shards int) []byte {
+		t.Helper()
+		dir := t.TempDir()
+		opts := RunOptions{
+			Scale: Quick, Seed: 7, Parallelism: par, Shards: shards,
+			Telemetry: &telemetry.Options{TracePath: filepath.Join(dir, "trace.json")},
+			Obs:       NewObservatory(ObsOptions{SpanEvery: 2, SpanSeed: 7, Watchdogs: true, FlightDir: "-"}),
+		}
+		if _, err := e.Run(context.Background(), opts); err != nil {
+			t.Fatal(err)
+		}
+		raw, err := os.ReadFile(filepath.Join(dir, "trace.json"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return raw
+	}
+	base := run(1, 1)
+	for _, c := range []struct{ par, shards int }{{8, 1}, {1, 3}, {8, 3}} {
+		if got := run(c.par, c.shards); !bytes.Equal(base, got) {
+			t.Errorf("span trace differs from -j1 -shards1 at -j%d -shards%d", c.par, c.shards)
+		}
+	}
+	if err := telemetry.ValidateTrace(bytes.NewReader(base)); err != nil {
+		t.Errorf("span trace fails schema validation: %v", err)
+	}
+	if err := obs.ValidateSpans(bytes.NewReader(base)); err != nil {
+		t.Errorf("span trace fails span-chain validation: %v", err)
+	}
+	// The trace must actually contain spans — an empty sampled set would
+	// make the identity check vacuous.
+	if !bytes.Contains(base, []byte(`"cat":"span"`)) {
+		t.Error("trace contains no packet spans (sampling produced an empty set)")
+	}
+}

@@ -29,18 +29,22 @@ if [ "$label" = "shard-sweep" ]; then
 	exit 0
 fi
 
-# The headline benchmarks (telemetry-off and telemetry-on engine paths),
-# repeated for a distribution benchstat can consume. The -off figures are
-# the regression gate; the -on delta is the telemetry layer's budget.
-go test -run '^$' -bench '^BenchmarkEngineThroughput(Telemetry)?$' -count=5 . | tee "$txt"
+# The headline benchmarks (telemetry-off, telemetry-on, and
+# observatory-on engine paths), repeated for a distribution benchstat
+# can consume. The -off figures are the regression gate; the Telemetry
+# delta is the telemetry layer's budget, and the Obs delta (spans on
+# every flow, watchdogs armed, flight ring live) is the observatory's.
+go test -run '^$' -bench '^BenchmarkEngineThroughput(Telemetry|Obs)?$' -count=5 . | tee "$txt"
 
 # The hot-path microbenchmarks, one pass each.
 go test -run '^$' -bench '^Benchmark(TimerChurn|TimerChurnStop|EventTarget|HeapDepth)' ./internal/sim/ | tee -a "$txt"
 go test -run '^$' -bench '^Benchmark(SaturatedPort|IncastBurst)$' ./internal/netsim/ | tee -a "$txt"
 
 # Diff against the most recent committed BENCH_*.json (other than the one
-# being written), and gate hard on the telemetry-off alloc budget: the
-# steady-state engine path must stay allocation-free.
+# being written), and gate hard on the alloc budgets: the steady-state
+# engine path must stay allocation-free both bare and with the full
+# observatory attached (the obs gate matches the telemetry-on baseline
+# in BENCH_2.json, which is also zero).
 prev=""
 for f in $(git ls-files 'BENCH_*.json' | sort -V); do
 	[ "$f" = "$json" ] && continue
@@ -51,5 +55,6 @@ prevargs=""
 
 go run ./cmd/benchjson -label "$label" -o "$json" $prevargs \
 	-gate 'BenchmarkEngineThroughput:allocs/pkt-hop<=0' \
+	-gate 'BenchmarkEngineThroughputObs:allocs/pkt-hop<=0' \
 	"$txt"
 echo "wrote $json"

@@ -44,6 +44,7 @@ import (
 	"tfcsim/internal/core"
 	"tfcsim/internal/dctcp"
 	"tfcsim/internal/netsim"
+	"tfcsim/internal/obs"
 	"tfcsim/internal/sim"
 	"tfcsim/internal/telemetry"
 	"tfcsim/internal/transport"
@@ -111,7 +112,18 @@ type (
 	TelemetryOptions = telemetry.Options
 	// TelemetryCollector is a run's merged telemetry (Result.Telemetry).
 	TelemetryCollector = telemetry.Collector
+
+	// ObsOptions configures the runtime observatory (live introspection
+	// endpoint, causal packet spans, invariant watchdogs).
+	ObsOptions = obs.Options
+	// Observatory is the runtime observability hub (RunOptions.Obs).
+	Observatory = obs.Observatory
 )
+
+// NewObservatory creates a runtime observatory; pass it via
+// RunOptions.Obs and call Start/Stop around the run to serve the live
+// endpoint.
+func NewObservatory(opts ObsOptions) *Observatory { return obs.New(opts) }
 
 // Time units.
 const (
